@@ -1,0 +1,81 @@
+// Command calibrate prints the contention profile of the synthetic
+// benchmark pool: each benchmark's solo CPI and runtime, and its user-time
+// degradation when co-run against representative aggressors on the
+// shared-L2 machine. This is the tool used to keep the pool's behaviour
+// classes aligned with the paper's (§2.3): cache-hungry programs must
+// degrade heavily against streaming aggressors, compute-bound ones barely.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"symbiosched/internal/engine"
+	"symbiosched/internal/experiments"
+	"symbiosched/internal/kernel"
+	"symbiosched/internal/workload"
+)
+
+func main() {
+	quick := flag.Bool("quick", true, "run at test scale (default; -quick=false for experiment scale)")
+	aggressors := flag.String("aggressors", "libquantum,hmmer,mcf", "comma-separated aggressor list")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	ecfg := cfg.EngineConfig()
+	sc := cfg.Scale()
+
+	var aggr []workload.Profile
+	for _, n := range strings.Split(*aggressors, ",") {
+		p, err := workload.ByName(strings.TrimSpace(n))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		aggr = append(aggr, p)
+	}
+
+	pool := workload.SPEC2006()
+	sort.Slice(pool, func(i, j int) bool { return pool[i].Class < pool[j].Class })
+
+	solo := func(p workload.Profile) (cpi float64, cycles uint64) {
+		procs := kernel.Workload([]workload.Profile{p}, cfg.Seed, sc)
+		m := engine.New(ecfg, procs)
+		m.SetAffinities([]int{0})
+		m.Run(engine.RunOptions{})
+		c := procs[0].CompletionUser()
+		return float64(c) / float64(procs[0].Threads[0].InstrTarget), c
+	}
+	paired := func(p, a workload.Profile) uint64 {
+		procs := kernel.Workload([]workload.Profile{p, a}, cfg.Seed, sc)
+		m := engine.New(ecfg, procs)
+		m.SetAffinities([]int{0, 1})
+		m.Run(engine.RunOptions{})
+		return procs[0].CompletionUser()
+	}
+
+	fmt.Printf("%-12s %-14s %8s %10s", "benchmark", "class", "soloCPI", "cycles")
+	for _, a := range aggr {
+		fmt.Printf(" %12s", "vs "+a.Name)
+	}
+	fmt.Println()
+	for _, p := range pool {
+		cpi, cycles := solo(p)
+		fmt.Printf("%-12s %-14s %8.2f %10d", p.Name, p.Class, cpi, cycles)
+		for _, a := range aggr {
+			if a.Name == p.Name {
+				fmt.Printf(" %12s", "—")
+				continue
+			}
+			cont := paired(p, a)
+			fmt.Printf(" %+11.1f%%", 100*(float64(cont)/float64(cycles)-1))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,85 @@
+// Command footprint profiles a benchmark's cache-footprint signature over
+// time: it runs the benchmark on core 0 of the simulated shared-L2 machine
+// (optionally against a streaming co-runner on core 1) and prints, per
+// sampling window, the Core Filter occupancy weight, the RBV occupancy, the
+// windowed L2 miss count and the L2 miss rate — the quantities behind
+// Figures 2 and 5 of the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"symbiosched/internal/engine"
+	"symbiosched/internal/experiments"
+	"symbiosched/internal/kernel"
+	"symbiosched/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "mcf", "benchmark to profile")
+	windows := flag.Uint64("windows", 30, "number of sampling windows")
+	background := flag.Bool("background", true, "run a streaming co-runner on core 1")
+	quick := flag.Bool("quick", true, "run at test scale (-quick=false for experiment scale)")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+
+	p, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "footprint:", err)
+		os.Exit(1)
+	}
+	profiles := []workload.Profile{p}
+	aff := []int{}
+	for i := 0; i < p.Threads; i++ {
+		aff = append(aff, 0)
+	}
+	if *background {
+		hm, err := workload.ByName("hmmer")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "footprint:", err)
+			os.Exit(1)
+		}
+		profiles = append(profiles, hm)
+		aff = append(aff, 1)
+	}
+
+	procs := kernel.Workload(profiles, cfg.Seed, cfg.Scale())
+	ec := cfg.EngineConfig()
+	ec.QuantumCycles = 1 << 62 // sample the LF manually at window boundaries
+	m := engine.New(ec, procs)
+	m.SetAffinities(aff)
+
+	fmt.Printf("# %s on core 0 (%s), window = %d cycles, filter entries = %d\n",
+		p.Name, map[bool]string{true: "hmmer streaming on core 1", false: "solo"}[*background],
+		cfg.MonitorPeriod, m.Unit().Entries())
+	fmt.Printf("%8s %10s %10s %10s %10s\n", "window", "occupancy", "rbv", "misses", "missrate")
+
+	var lastMisses, lastRefs uint64
+	window := uint64(0)
+	m.Run(engine.RunOptions{
+		Horizon:       (*windows + 1) * cfg.MonitorPeriod,
+		MonitorPeriod: cfg.MonitorPeriod,
+		OnMonitor: func(m *engine.Machine, now uint64) {
+			st := m.Hierarchy().L2For(0).CoreStats(0)
+			sig := m.Unit().ContextSwitch(0)
+			if window > 0 {
+				dm := st.Misses - lastMisses
+				dr := st.Accesses - lastRefs
+				rate := 0.0
+				if dr > 0 {
+					rate = float64(dm) / float64(dr)
+				}
+				fmt.Printf("%8d %10d %10d %10d %9.1f%%\n",
+					window, m.Unit().OccupancyWeight(0), sig.Occupancy, dm, 100*rate)
+			}
+			lastMisses, lastRefs = st.Misses, st.Accesses
+			window++
+		},
+	})
+}

@@ -1,0 +1,207 @@
+// Command symbiosched regenerates the tables and figures of the paper's
+// evaluation on the simulated testbed. Each experiment prints the same rows
+// or series the paper reports.
+//
+// Usage:
+//
+//	symbiosched [flags] <experiment>
+//
+// Experiments: fig1, fig5 (also covers fig2), fig3a, fig3b, table1, fig10,
+// fig11, fig12, fig13, fig14, overheads, all.
+//
+// Flags:
+//
+//	-quick        run at test scale (1/64 machine, short runs)
+//	-csv          emit CSV instead of aligned tables where applicable
+//	-seed N       workload seed
+//	-workers N    simulation parallelism (default GOMAXPROCS)
+//	-pool a,b,c   restrict the benchmark pool for fig10/fig11/fig12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"symbiosched/internal/experiments"
+	"symbiosched/internal/metrics"
+	"symbiosched/internal/workload"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at test scale")
+	csv := flag.Bool("csv", false, "emit CSV where applicable")
+	md := flag.Bool("md", false, "emit GitHub-flavored markdown tables")
+	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
+	workers := flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
+	poolFlag := flag.String("pool", "", "comma-separated benchmark subset for the sweeps")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	cfg.Workers = *workers
+
+	pool, err := parsePool(*poolFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	emit := func(t metrics.Table) {
+		switch {
+		case *csv:
+			fmt.Print(t.CSV())
+		case *md:
+			fmt.Println(t.Markdown())
+		default:
+			fmt.Println(t.String())
+		}
+	}
+
+	run := func(name string) bool {
+		start := time.Now()
+		defer func() {
+			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		}()
+		switch name {
+		case "fig1":
+			emit(experiments.Figure1(cfg).Table())
+		case "fig2", "fig5":
+			res := experiments.Figure5(cfg)
+			fmt.Println(res.Render())
+			fmt.Printf("correlation with true footprint: occupancy weight %.3f, miss counter %.3f, TLB misses %.3f\n\n",
+				res.OccupancyCorr, res.MissCorr, res.TLBCorr)
+		case "fig3a":
+			emit(experiments.Figure3a(cfg).Table())
+		case "fig3b":
+			emit(experiments.Figure3b(cfg).Table())
+		case "table1":
+			emit(experiments.Table1(cfg).Table())
+		case "fig10":
+			emit(experiments.Figure10(cfg, pool).Table())
+		case "fig11":
+			emit(experiments.Figure11(cfg, pool).Table())
+		case "fig12":
+			emit(experiments.Figure12(cfg, poolOrNil(pool, workload.PARSEC())).Table())
+		case "fig13":
+			emit(experiments.Figure13(cfg).Table())
+		case "fig14":
+			emit(experiments.Figure14(cfg).Table())
+		case "overheads":
+			emit(experiments.Overheads(2).Table())
+		case "quad":
+			qc := cfg
+			if qc.CandidateLimit == 0 && *quick {
+				qc.CandidateLimit = 15
+			}
+			emit(experiments.QuadCore(qc, nil).Table())
+		case "fairness":
+			emit(experiments.Fairness(cfg).Table())
+		case "pairs":
+			emit(experiments.Figure3b(cfg).MatrixTable())
+		default:
+			return false
+		}
+		return true
+	}
+
+	name := flag.Arg(0)
+	if name == "list" {
+		t := metrics.Table{
+			Title:   "Synthetic benchmark pool",
+			Headers: []string{"benchmark", "class", "threads"},
+		}
+		for _, p := range append(workload.SPEC2006(), workload.PARSEC()...) {
+			t.AddRow(p.Name, p.Class.String(), p.Threads)
+		}
+		emit(t)
+		return
+	}
+	if name == "all" {
+		for _, n := range []string{"fig1", "fig5", "fig3a", "fig3b", "table1",
+			"fig10", "fig11", "fig12", "fig13", "fig14", "overheads",
+			"quad", "fairness"} {
+			run(n)
+		}
+		return
+	}
+	if !run(name) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+		usage()
+		os.Exit(2)
+	}
+}
+
+// parsePool resolves a comma-separated benchmark list; empty means the full
+// default pool for each experiment.
+func parsePool(s string) ([]workload.Profile, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []workload.Profile
+	for _, name := range strings.Split(s, ",") {
+		p, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if len(out) < 4 {
+		return nil, fmt.Errorf("pool needs at least 4 benchmarks, got %d", len(out))
+	}
+	return out, nil
+}
+
+// poolOrNil substitutes nil (the experiment's default pool) when the user
+// pool contains single-threaded benchmarks unsuitable for fig12.
+func poolOrNil(pool []workload.Profile, dflt []workload.Profile) []workload.Profile {
+	if pool == nil {
+		return nil
+	}
+	for _, p := range pool {
+		if p.Threads == 1 {
+			fmt.Fprintln(os.Stderr, "note: -pool contains single-threaded benchmarks; using the PARSEC pool for fig12")
+			return nil
+		}
+	}
+	_ = dflt
+	return pool
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: symbiosched [flags] <experiment>
+
+experiments:
+  fig1       footprints vs miss rate motivating example
+  fig5       occupancy weight vs miss counters time series (covers fig2)
+  fig3a      pairwise degradation, private-L2 SMP, pair on one core
+  fig3b      pairwise degradation, shared-L2 dual core
+  table1     povray/gobmk/libquantum/hmmer under all mappings
+  fig10      per-benchmark max/avg improvement, native
+  fig11      per-benchmark max/avg improvement, Xen-style VMs
+  fig12      per-benchmark max/avg improvement, multi-threaded PARSEC
+  fig13      the three allocation algorithms compared
+  fig14      hash function comparison
+  overheads  §5.4 storage-cost accounting
+  quad       8 processes on 4 cores via hierarchical MIN-CUT (§3.3.2 extension)
+  fairness   per-mapping slowdowns and Jain fairness index
+  pairs      full pairwise degradation matrix (the data behind fig3b)
+  list       the synthetic benchmark catalog
+  all        everything above
+
+flags:
+`)
+	flag.PrintDefaults()
+}

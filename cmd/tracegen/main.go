@@ -1,0 +1,125 @@
+// Command tracegen captures synthetic benchmark reference streams into the
+// compact binary trace format (internal/trace) and inspects existing traces.
+// Traces decouple workload generation from simulation: a captured (or
+// externally produced) trace can be replayed through the cache simulator.
+//
+// Usage:
+//
+//	tracegen -bench mcf -n 1000000 -o mcf.trc     # capture
+//	tracegen -inspect mcf.trc                     # summarise
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"symbiosched/internal/trace"
+	"symbiosched/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark profile to capture")
+	n := flag.Uint64("n", 1_000_000, "instructions to capture")
+	out := flag.String("o", "", "output trace file")
+	div := flag.Uint64("scale", 16, "region scale divisor")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	inspect := flag.String("inspect", "", "trace file to summarise")
+	flag.Parse()
+
+	switch {
+	case *inspect != "":
+		if err := doInspect(*inspect); err != nil {
+			fatal(err)
+		}
+	case *bench != "":
+		if *out == "" {
+			*out = *bench + ".trc"
+		}
+		if err := doCapture(*bench, *out, *n, *div, *seed); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}
+
+func doCapture(bench, out string, n, div, seed uint64) error {
+	p, err := workload.ByName(bench)
+	if err != nil {
+		return err
+	}
+	gens := p.NewThreads(1, seed, div)
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Capture(gens[0], n, f); err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("captured %d instructions of %s (thread 0/%d) to %s (%d bytes)\n",
+		n, bench, len(gens), out, st.Size())
+	return f.Close()
+}
+
+func doInspect(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := trace.NewReader(f)
+	var instr, mem uint64
+	lines := map[uint64]bool{}
+	var lo, hi uint64
+	first := true
+	for {
+		ref, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		instr++
+		if ref.Mem {
+			mem++
+			line := ref.Addr >> 6
+			lines[line] = true
+			if first || line < lo {
+				lo = line
+			}
+			if first || line > hi {
+				hi = line
+			}
+			first = false
+		}
+	}
+	fmt.Printf("%s: %d instructions, %d memory refs (%.1f%%), %d distinct lines",
+		path, instr, mem, 100*float64(mem)/float64(max64(instr, 1)), len(lines))
+	if !first {
+		fmt.Printf(", footprint %d KiB, line range [%#x, %#x]",
+			uint64(len(lines))*64/1024, lo, hi)
+	}
+	fmt.Println()
+	return nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

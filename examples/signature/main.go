@@ -1,0 +1,86 @@
+// Stand-alone signature hardware: the paper's architectural contribution
+// used WITHOUT the bundled simulator. This example wires a SignatureUnit to
+// a deliberately tiny hand-rolled direct-mapped cache, replays two synthetic
+// access patterns through it — the Figure 1 pair: identical miss rates,
+// footprints differing by an order of magnitude — and shows that the occupancy weight separates
+// them where the miss counter cannot.
+//
+// Use this as the template for attaching the unit to your own cache model:
+// call OnFill for every fill, OnEvict for every replacement, and
+// ContextSwitch whenever your scheduler deschedules a context.
+//
+// Run with:
+//
+//	go run ./examples/signature
+package main
+
+import (
+	"fmt"
+
+	symbio "symbiosched"
+)
+
+// toyCache is a minimal direct-mapped cache: 64 sets × 1 way, 64-byte lines.
+// It is intentionally not the library's cache model — the point is that any
+// simulator can host the signature unit.
+type toyCache struct {
+	tags   [64]uint64
+	valid  [64]bool
+	unit   *symbio.SignatureUnit
+	misses int
+}
+
+func (c *toyCache) access(core int, addr uint64) {
+	line := addr >> 6
+	set := int(line % 64)
+	if c.valid[set] && c.tags[set] == line {
+		return // hit: the signature hardware only watches fills/evictions
+	}
+	c.misses++
+	if c.valid[set] {
+		c.unit.OnEvict(c.tags[set], set, 0)
+	}
+	c.tags[set] = line
+	c.valid[set] = true
+	c.unit.OnFill(core, line, set, 0)
+}
+
+func main() {
+	unit := symbio.NewSignatureUnit(symbio.CacheGeometry{Sets: 64, Ways: 1}, 2)
+	cache := &toyCache{unit: unit}
+
+	// Application A (core 0): stride of 64 lines — every access lands in
+	// set 0, 100% misses, one-set footprint.
+	for i := 0; i < 4096; i++ {
+		cache.access(0, uint64(i%32)*64*64*64)
+	}
+	missesA := cache.misses
+	sigA := unit.ContextSwitch(0)
+
+	// Application B (core 1): stride of 2 lines over a large region —
+	// also ~100% misses, but it roams half the sets.
+	cache.misses = 0
+	for i := 0; i < 4096; i++ {
+		cache.access(1, uint64(i%2048)*2*64)
+	}
+	missesB := cache.misses
+	sigB := unit.ContextSwitch(1)
+
+	fmt.Println("Two applications with (nearly) identical miss counts:")
+	fmt.Printf("  A: %4d misses, occupancy weight %3d\n", missesA, sigA.Occupancy)
+	fmt.Printf("  B: %4d misses, occupancy weight %3d\n", missesB, sigB.Occupancy)
+	fmt.Println()
+	fmt.Printf("The miss counter cannot tell them apart; the Bloom-filter\n")
+	fmt.Printf("occupancy weight differs by %.1fx — the Figure 1 argument.\n",
+		float64(sigB.Occupancy)/float64(max(sigA.Occupancy, 1)))
+	fmt.Println()
+	fmt.Printf("B's symbiosis with core 0's filter: %d (high = low interference)\n", sigB.Symbiosis[0])
+	fmt.Printf("B's footprint overlap with core 0's filter: %d positions\n", sigB.Overlap[0])
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,47 @@
+// Virtualized scheduling study: the paper's §5.1.2 scenario. Four
+// benchmarks, each encapsulated in its own Xen-style VM, run on the same
+// dual-core shared-L2 machine; the Dom0 allocation policy maps vcpus to
+// cores using per-VM footprint signatures. The example contrasts native and
+// virtualized gains for the same mix — the Fig 10 vs Fig 11 comparison:
+// gains survive virtualization but shrink, because hypervisor overhead and
+// Dom0 cache churn add schedule-independent cost to every mapping.
+//
+// Run with:
+//
+//	go run ./examples/vm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	symbio "symbiosched"
+)
+
+func main() {
+	mix := []string{"mcf", "libquantum", "povray", "hmmer"}
+
+	for _, virtualized := range []bool{false, true} {
+		label := "native"
+		if virtualized {
+			label = "Xen-style VMs (12.5% overhead + world switches + Dom0 churn)"
+		}
+		ev, err := symbio.Evaluate(mix, &symbio.Options{
+			Quick:       true,
+			Virtualized: virtualized,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", label)
+		fmt.Printf("  chosen schedule: %v\n", ev.Chosen.Groups)
+		for i, name := range ev.Names {
+			fmt.Printf("  %-12s improvement over worst mapping %+5.1f%%\n",
+				name, 100*ev.Improvements[i])
+		}
+		fmt.Println()
+	}
+	fmt.Println("As in the paper, the relative trend across benchmarks persists")
+	fmt.Println("inside VMs but the magnitudes drop — the destructive caching")
+	fmt.Println("effect crosses VM boundaries even though nothing else does.")
+}

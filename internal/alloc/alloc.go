@@ -1,0 +1,263 @@
+// Package alloc implements the paper's three resource-allocation algorithms
+// (§3.3) — occupancy-weight sorting, the interference graph, and the
+// weighted interference graph — together with the two-phase adaptation for
+// multi-threaded applications (§3.3.4) and the baseline policies the paper
+// compares against (the OS default round-robin placement and a miss-rate
+// sorter standing in for performance-counter-driven schedulers).
+//
+// A policy consumes the monitor's view of every thread (the §3.2 syscall
+// snapshot: occupancy weight, per-core symbiosis and per-core footprint
+// overlap from the Bloom-filter hardware) and produces a thread→core
+// mapping, which the monitor applies through affinity bits.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"symbiosched/internal/graph"
+	"symbiosched/internal/kernel"
+)
+
+// Mapping assigns each thread (by position) to a core.
+type Mapping []int
+
+// Equal reports whether two mappings are identical.
+func (m Mapping) Equal(o Mapping) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for i := range m {
+		if m[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonical returns the mapping with core labels renumbered in order of
+// first appearance. Two mappings that differ only by a permutation of core
+// labels describe the same co-location and canonicalise identically —
+// exactly what the majority vote of §4.1 needs to count.
+func (m Mapping) Canonical() Mapping {
+	rename := map[int]int{}
+	out := make(Mapping, len(m))
+	next := 0
+	for i, c := range m {
+		r, ok := rename[c]
+		if !ok {
+			r = next
+			rename[c] = r
+			next++
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// Key renders the canonical mapping as a compact string usable as a map key.
+func (m Mapping) Key() string {
+	return fmt.Sprint([]int(m.Canonical()))
+}
+
+// Policy maps monitor views to a thread→core mapping.
+type Policy interface {
+	Name() string
+	Allocate(views []kernel.View, cores int) Mapping
+}
+
+// interference converts a symbiosis value into the paper's interference
+// metric: the reciprocal of symbiosis (§3.3.2). A zero symbiosis (both
+// vectors empty or identical) is treated as maximal interference with a
+// finite value so the graph stays numeric.
+func interference(symbiosis int) float64 {
+	if symbiosis <= 0 {
+		return 1
+	}
+	return 1 / float64(symbiosis)
+}
+
+// groupsToMapping converts per-core groups of thread indices into a Mapping.
+func groupsToMapping(groups [][]int, n int) Mapping {
+	m := make(Mapping, n)
+	for core, grp := range groups {
+		for _, t := range grp {
+			m[t] = core
+		}
+	}
+	return m
+}
+
+// WeightSort is §3.3.1: sort threads by occupancy weight (descending) and
+// pack consecutive runs of ⌈P/N⌉ onto the same core, so the heaviest cache
+// users time-share a core instead of fighting for the L2.
+type WeightSort struct{}
+
+// Name returns the paper's name for the algorithm.
+func (WeightSort) Name() string { return "weight-sort" }
+
+// Allocate implements Policy.
+func (WeightSort) Allocate(views []kernel.View, cores int) Mapping {
+	return sortAndPack(views, cores, func(v kernel.View) float64 {
+		return float64(v.Occupancy)
+	})
+}
+
+// MissRateSort is the performance-counter baseline the paper argues against
+// (§2.2): identical packing to WeightSort but keyed on L2 miss rate instead
+// of the Bloom-filter occupancy weight. Misses measure traffic, not
+// footprint, so two programs with identical miss rates can have footprints
+// differing by the Fig 1 factor of 8.
+type MissRateSort struct{}
+
+// Name returns the baseline's name.
+func (MissRateSort) Name() string { return "missrate-sort" }
+
+// Allocate implements Policy.
+func (MissRateSort) Allocate(views []kernel.View, cores int) Mapping {
+	return sortAndPack(views, cores, func(v kernel.View) float64 {
+		return v.L2MissRate
+	})
+}
+
+func sortAndPack(views []kernel.View, cores int, key func(kernel.View) float64) Mapping {
+	if cores <= 0 {
+		panic("alloc: cores must be positive")
+	}
+	order := make([]int, len(views))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return key(views[order[a]]) > key(views[order[b]])
+	})
+	group := (len(views) + cores - 1) / cores
+	m := make(Mapping, len(views))
+	for rank, idx := range order {
+		m[idx] = rank / group
+	}
+	return m
+}
+
+// RoundRobin is the contention-oblivious OS default: thread i on core i%N.
+type RoundRobin struct{}
+
+// Name returns the baseline's name.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Allocate implements Policy.
+func (RoundRobin) Allocate(views []kernel.View, cores int) Mapping {
+	m := make(Mapping, len(views))
+	for i := range m {
+		m[i] = i % cores
+	}
+	return m
+}
+
+// InterferenceGraph is §3.3.2: build the undirected interference graph from
+// the reciprocal-symbiosis metrics and MIN-CUT it into balanced per-core
+// groups, maximizing intra-group (same-core) interference.
+type InterferenceGraph struct{}
+
+// Name returns the paper's name for the algorithm.
+func (InterferenceGraph) Name() string { return "interference-graph" }
+
+// Allocate implements Policy.
+func (InterferenceGraph) Allocate(views []kernel.View, cores int) Mapping {
+	return partitionOrKeep(buildGraph(views, false), views, cores)
+}
+
+// WeightedInterferenceGraph is §3.3.3: interference terms weighted by
+// occupancy, curing the "low symbiosis because low occupancy" ambiguity.
+//
+// The §3.3.3 formula multiplies 1/symbiosis by the source's occupancy
+// weight, which still rewards pairing with a LOW-occupancy core (a small
+// core filter also yields a small symbiosis). The implementation therefore
+// uses the direct occupancy-weighted conflict measure the construction
+// approximates: the directed term P→Q is popcount(RBV_P ∧ CF_core(Q)) — the
+// footprint overlap, bounded by min(|RBV_P|, |CF|) and hence weighted by
+// both sides' occupancies. At the paper's filter sizing (entries = sampled
+// cache lines) a saturated filter makes 1/XOR-similarity and overlap agree;
+// the overlap form stays monotone when the filter is not saturated. See
+// DESIGN.md note 10. This is the paper's best-performing algorithm.
+type WeightedInterferenceGraph struct{}
+
+// Name returns the paper's name for the algorithm.
+func (WeightedInterferenceGraph) Name() string { return "weighted-interference-graph" }
+
+// Allocate implements Policy.
+func (WeightedInterferenceGraph) Allocate(views []kernel.View, cores int) Mapping {
+	return partitionOrKeep(buildGraph(views, true), views, cores)
+}
+
+// partitionOrKeep MIN-CUTs the interference graph into balanced per-core
+// groups — unless the graph carries no signal at all (every edge zero), in
+// which case the current placement is kept. A saturated or degenerate
+// signature (the paper's presence-bit vectors, Fig 14) conveys nothing, and
+// the paper observes that such configurations simply stay on "the default
+// schedules with which the processes began execution"; an arbitrary
+// tie-break would instead reshuffle them randomly.
+func partitionOrKeep(g *graph.Graph, views []kernel.View, cores int) Mapping {
+	if g.TotalWeight() == 0 {
+		if cur, ok := currentPlacement(views, cores); ok {
+			return cur
+		}
+		return RoundRobin{}.Allocate(views, cores)
+	}
+	return groupsToMapping(g.PartitionK(cores), len(views))
+}
+
+// currentPlacement reconstructs the present thread→core assignment from the
+// views' last-core fields, reporting false if it is not balanced.
+func currentPlacement(views []kernel.View, cores int) (Mapping, bool) {
+	capacity := (len(views) + cores - 1) / cores
+	counts := make([]int, cores)
+	m := make(Mapping, len(views))
+	for i, v := range views {
+		c := v.LastCore
+		if c < 0 || c >= cores {
+			return nil, false
+		}
+		counts[c]++
+		if counts[c] > capacity {
+			return nil, false
+		}
+		m[i] = c
+	}
+	return m, true
+}
+
+// buildGraph constructs the undirected interference graph of §3.3.2/Fig 7:
+// the directed edge P→Q carries P's interference with Q's core (a process is
+// assumed to interfere equally with every process of another core), and the
+// two directions are summed into the undirected weight. With weighted false
+// the directed term is the paper's reciprocal symbiosis; with weighted true
+// it is the occupancy-weighted footprint overlap (§3.3.3 as implemented by
+// WeightedInterferenceGraph).
+func buildGraph(views []kernel.View, weighted bool) *graph.Graph {
+	g := graph.New(len(views))
+	for i, vi := range views {
+		if !vi.HasSig {
+			continue
+		}
+		for j, vj := range views {
+			if i == j {
+				continue
+			}
+			core := vj.LastCore
+			if core < 0 || core >= len(vi.Symbiosis) {
+				continue
+			}
+			var w float64
+			if weighted {
+				if core < len(vi.Overlap) {
+					w = float64(vi.Overlap[core])
+				}
+			} else {
+				w = interference(vi.Symbiosis[core])
+			}
+			g.AddWeight(i, j, w)
+		}
+	}
+	return g
+}

@@ -1,0 +1,350 @@
+package alloc
+
+import (
+	"testing"
+
+	"symbiosched/internal/kernel"
+)
+
+// view builds a monitor view with the given occupancy and symbiosis vector.
+func view(id, proc, lastCore, occ int, sym ...int) kernel.View {
+	return kernel.View{
+		ThreadID:  id,
+		ProcID:    proc,
+		Threads:   1,
+		LastCore:  lastCore,
+		Occupancy: occ,
+		Symbiosis: sym,
+		HasSig:    true,
+	}
+}
+
+// viewOv builds a view with explicit per-core footprint overlaps.
+func viewOv(id, proc, lastCore, occ int, sym, ov []int) kernel.View {
+	v := view(id, proc, lastCore, occ, sym...)
+	v.Overlap = ov
+	return v
+}
+
+func TestMappingCanonical(t *testing.T) {
+	a := Mapping{1, 1, 0, 0}
+	b := Mapping{0, 0, 1, 1}
+	if !a.Canonical().Equal(b.Canonical()) {
+		t.Fatalf("label-permuted mappings canonicalise differently: %v vs %v",
+			a.Canonical(), b.Canonical())
+	}
+	c := Mapping{0, 1, 0, 1}
+	if a.Canonical().Equal(c.Canonical()) {
+		t.Fatal("different co-locations canonicalise equal")
+	}
+	if a.Key() != b.Key() {
+		t.Fatal("keys differ for equivalent mappings")
+	}
+}
+
+func TestMappingEqual(t *testing.T) {
+	if !(Mapping{0, 1}).Equal(Mapping{0, 1}) {
+		t.Fatal("equal mappings not Equal")
+	}
+	if (Mapping{0, 1}).Equal(Mapping{0, 1, 0}) {
+		t.Fatal("different lengths Equal")
+	}
+}
+
+func TestWeightSortPacksHeaviestTogether(t *testing.T) {
+	// Occupancies 90, 85, 10, 5: the two heavy threads must share a core
+	// (§3.3.1: big-footprint processes should time-slice, not co-run).
+	views := []kernel.View{
+		view(0, 0, 0, 90, 5, 5),
+		view(1, 1, 1, 10, 5, 5),
+		view(2, 2, 0, 85, 5, 5),
+		view(3, 3, 1, 5, 5, 5),
+	}
+	m := WeightSort{}.Allocate(views, 2)
+	if m[0] != m[2] {
+		t.Fatalf("heavy threads split: %v", m)
+	}
+	if m[1] != m[3] {
+		t.Fatalf("light threads split: %v", m)
+	}
+	if m[0] == m[1] {
+		t.Fatalf("all threads on one core: %v", m)
+	}
+}
+
+func TestWeightSortGroupSizes(t *testing.T) {
+	views := []kernel.View{
+		view(0, 0, 0, 6, 1, 1), view(1, 1, 0, 5, 1, 1), view(2, 2, 0, 4, 1, 1),
+		view(3, 3, 1, 3, 1, 1), view(4, 4, 1, 2, 1, 1), view(5, 5, 1, 1, 1, 1),
+	}
+	m := WeightSort{}.Allocate(views, 2)
+	counts := map[int]int{}
+	for _, c := range m {
+		counts[c]++
+	}
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Fatalf("groups not balanced: %v", m)
+	}
+}
+
+func TestMissRateSortUsesMissRate(t *testing.T) {
+	views := []kernel.View{
+		{ThreadID: 0, HasSig: true, L2MissRate: 0.9, Symbiosis: []int{1, 1}},
+		{ThreadID: 1, HasSig: true, L2MissRate: 0.1, Symbiosis: []int{1, 1}},
+		{ThreadID: 2, HasSig: true, L2MissRate: 0.8, Symbiosis: []int{1, 1}},
+		{ThreadID: 3, HasSig: true, L2MissRate: 0.2, Symbiosis: []int{1, 1}},
+	}
+	m := MissRateSort{}.Allocate(views, 2)
+	if m[0] != m[2] || m[1] != m[3] || m[0] == m[1] {
+		t.Fatalf("miss-rate packing wrong: %v", m)
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	views := make([]kernel.View, 5)
+	m := RoundRobin{}.Allocate(views, 2)
+	want := Mapping{0, 1, 0, 1, 0}
+	if !m.Equal(want) {
+		t.Fatalf("round robin = %v, want %v", m, want)
+	}
+	if (RoundRobin{}).Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+// The Figure 7 scenario: interference graph groups mutually-interfering
+// processes on the same core. P0 and P1 heavily interfere (low symbiosis
+// with each other's cores); P2 and P3 are mutually benign.
+func TestInterferenceGraphFig7(t *testing.T) {
+	// Cores: P0,P2 last ran on core 0; P1,P3 on core 1.
+	// Symbiosis[c] is the XOR popcount against core c's filter: LOW value
+	// against the other core ⇒ HIGH interference.
+	views := []kernel.View{
+		view(0, 0, 0, 50, 100, 2),  // P0: low symbiosis with core 1 (where P1 runs)
+		view(1, 1, 1, 50, 2, 100),  // P1: low symbiosis with core 0 (where P0 runs)
+		view(2, 2, 0, 50, 100, 90), // P2: benign everywhere
+		view(3, 3, 1, 90, 100, 100),
+	}
+	m := InterferenceGraph{}.Allocate(views, 2)
+	if m[0] != m[1] {
+		t.Fatalf("mutually interfering P0,P1 not co-located: %v", m)
+	}
+	if m[2] == m[0] && m[3] == m[0] {
+		t.Fatalf("all on one core: %v", m)
+	}
+}
+
+// §3.3.3's motivating flaw: a process with a tiny occupancy produces
+// spuriously low symbiosis (an almost-empty RBV XORed against an
+// almost-empty CF is small), which the unweighted graph reads as heavy
+// interference. The weighted algorithm's occupancy-weighted overlap metric
+// is bounded by the tiny RBV, so a tiny-footprint process cannot dominate.
+//
+// The snapshot uses four distinct last-cores (a quad-core profiling
+// interval) because with two processes per core the paper's
+// equal-interference-per-core assumption makes all mixed pairings exactly
+// tied — the distinction only exists when cores are distinguishable.
+func TestWeightedGraphDiscountsLowOccupancy(t *testing.T) {
+	views := []kernel.View{
+		// P0: tiny occupancy, spuriously low (= "bad") symbiosis numbers,
+		// but overlaps bounded by its one-bit RBV.
+		viewOv(0, 0, 0, 1, []int{100, 1, 2, 3}, []int{0, 1, 1, 1}),
+		// P1 and P2: heavy, genuinely overlapping with each other's cores.
+		viewOv(1, 1, 1, 80, []int{100, 100, 4, 100}, []int{5, 0, 70, 5}),
+		viewOv(2, 2, 2, 80, []int{100, 4, 100, 100}, []int{5, 70, 0, 5}),
+		// P3: heavy but benign everywhere.
+		viewOv(3, 3, 3, 60, []int{200, 200, 200, 200}, []int{3, 3, 3, 0}),
+	}
+	m := WeightedInterferenceGraph{}.Allocate(views, 2)
+	if m[1] != m[2] {
+		t.Fatalf("weighted graph failed to co-locate the true interferers: %v", m)
+	}
+	// The unweighted graph is misled by P0's spurious metrics: it pairs P0
+	// with its strongest apparent partner P1, splitting the true pair.
+	mu := InterferenceGraph{}.Allocate(views, 2)
+	if mu[0] != mu[1] || mu[1] == mu[2] {
+		t.Fatalf("expected unweighted graph to be misled into pairing P0,P1: %v", mu)
+	}
+}
+
+func TestGraphPoliciesHandleMissingSignatures(t *testing.T) {
+	views := []kernel.View{
+		{ThreadID: 0, HasSig: false},
+		{ThreadID: 1, HasSig: false},
+		{ThreadID: 2, HasSig: false},
+		{ThreadID: 3, HasSig: false},
+	}
+	for _, p := range []Policy{WeightSort{}, InterferenceGraph{}, WeightedInterferenceGraph{}, TwoPhase{}} {
+		m := p.Allocate(views, 2)
+		if len(m) != 4 {
+			t.Fatalf("%s: mapping length %d", p.Name(), len(m))
+		}
+		counts := map[int]int{}
+		for _, c := range m {
+			if c < 0 || c >= 2 {
+				t.Fatalf("%s: core %d out of range", p.Name(), c)
+			}
+			counts[c]++
+		}
+		if counts[0] != 2 || counts[1] != 2 {
+			t.Fatalf("%s: unbalanced mapping %v without signatures", p.Name(), m)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range []Policy{WeightSort{}, MissRateSort{}, RoundRobin{},
+		InterferenceGraph{}, WeightedInterferenceGraph{}, TwoPhase{}} {
+		n := p.Name()
+		if n == "" || names[n] {
+			t.Fatalf("missing or duplicate policy name %q", n)
+		}
+		names[n] = true
+	}
+}
+
+// Two-phase: threads of one multi-threaded process that phase 1 groups
+// together must stay on the same core, and phase-1 groups of the same
+// process must land on different cores (Fig 8).
+func TestTwoPhaseKeepsThreadGroupsTogether(t *testing.T) {
+	mt := func(id, proc, occ int) kernel.View {
+		v := viewOv(id, proc, 0, occ, []int{10, 10}, []int{0, occ / 2})
+		v.Threads = 4
+		return v
+	}
+	// One 4-thread process (occupancies 40,39,2,1 → groups {40,39},{2,1})
+	// plus two single-threaded processes.
+	views := []kernel.View{
+		mt(0, 0, 40),
+		mt(1, 0, 2),
+		mt(2, 0, 39),
+		mt(3, 0, 1),
+		view(4, 1, 1, 20, 10, 10),
+		view(5, 2, 1, 20, 10, 10),
+	}
+	m := TwoPhase{}.Allocate(views, 2)
+	if m[0] != m[2] {
+		t.Fatalf("phase-1 group {t0,t2} split across cores: %v", m)
+	}
+	if m[1] != m[3] {
+		t.Fatalf("phase-1 group {t1,t3} split across cores: %v", m)
+	}
+	if m[0] == m[1] {
+		t.Fatalf("distinct phase-1 groups on the same core: %v", m)
+	}
+	counts := map[int]int{}
+	for _, c := range m {
+		counts[c]++
+	}
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Fatalf("unbalanced: %v", m)
+	}
+}
+
+func TestTwoPhaseSingleThreadedDegeneratesToWeighted(t *testing.T) {
+	views := []kernel.View{
+		viewOv(0, 0, 0, 1, []int{1, 1}, []int{0, 1}),
+		viewOv(1, 1, 1, 80, []int{4, 90}, []int{60, 0}),
+		viewOv(2, 2, 0, 80, []int{90, 4}, []int{0, 60}),
+		viewOv(3, 3, 1, 60, []int{200, 200}, []int{2, 0}),
+	}
+	tp := TwoPhase{}.Allocate(views, 2)
+	wg := WeightedInterferenceGraph{}.Allocate(views, 2)
+	if tp.Key() != wg.Key() {
+		t.Fatalf("two-phase on single-threaded input %v differs from weighted graph %v", tp, wg)
+	}
+}
+
+func TestInterferenceMetric(t *testing.T) {
+	if interference(0) != 1 || interference(-3) != 1 {
+		t.Fatal("non-positive symbiosis must clamp to 1")
+	}
+	if interference(4) != 0.25 {
+		t.Fatalf("interference(4) = %g", interference(4))
+	}
+	if !(interference(2) > interference(10)) {
+		t.Fatal("interference must decrease with symbiosis")
+	}
+}
+
+func TestSortAndPackPanicsOnZeroCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cores=0 did not panic")
+		}
+	}()
+	WeightSort{}.Allocate([]kernel.View{{}}, 0)
+}
+
+func TestFourCoreAllocation(t *testing.T) {
+	// Eight processes on four cores: hierarchical MIN-CUT must produce
+	// four balanced pairs, co-locating the four strongly-bound pairs.
+	var views []kernel.View
+	for p := 0; p < 4; p++ {
+		// Pair 2p, 2p+1: last cores p and (p+1)%4; each footprint overlaps
+		// heavily with the other's core and barely with the rest.
+		ov1 := []int{2, 2, 2, 2}
+		ov2 := []int{2, 2, 2, 2}
+		ov1[(p+1)%4] = 40
+		ov2[p] = 40
+		ov1[p], ov2[(p+1)%4] = 0, 0
+		views = append(views,
+			viewOv(2*p, 2*p, p, 50, []int{100, 100, 100, 100}, ov1),
+			viewOv(2*p+1, 2*p+1, (p+1)%4, 50, []int{100, 100, 100, 100}, ov2),
+		)
+	}
+	m := WeightedInterferenceGraph{}.Allocate(views, 4)
+	counts := map[int]int{}
+	for _, c := range m {
+		counts[c]++
+	}
+	for c, n := range counts {
+		if n != 2 {
+			t.Fatalf("core %d has %d threads: %v", c, n, m)
+		}
+	}
+	for p := 0; p < 4; p++ {
+		if m[2*p] != m[2*p+1] {
+			t.Fatalf("bound pair %d split: %v", p, m)
+		}
+	}
+}
+
+func TestCurrentPlacement(t *testing.T) {
+	views := []kernel.View{
+		{LastCore: 0}, {LastCore: 1}, {LastCore: 0}, {LastCore: 1},
+	}
+	m, ok := currentPlacement(views, 2)
+	if !ok || !m.Equal(Mapping{0, 1, 0, 1}) {
+		t.Fatalf("currentPlacement = %v, %v", m, ok)
+	}
+	// Unbalanced placements are rejected.
+	if _, ok := currentPlacement([]kernel.View{{LastCore: 0}, {LastCore: 0}, {LastCore: 0}, {LastCore: 1}}, 2); ok {
+		t.Fatal("unbalanced placement accepted")
+	}
+	// Out-of-range cores are rejected.
+	if _, ok := currentPlacement([]kernel.View{{LastCore: 5}}, 2); ok {
+		t.Fatal("out-of-range core accepted")
+	}
+}
+
+// A zero-information graph (the Fig 14 saturated presence bits) must keep
+// the current placement instead of reshuffling on an arbitrary tie-break.
+func TestGraphPoliciesKeepPlacementWithoutSignal(t *testing.T) {
+	views := []kernel.View{
+		viewOv(0, 0, 1, 0, []int{0, 0}, []int{0, 0}),
+		viewOv(1, 1, 0, 0, []int{0, 0}, []int{0, 0}),
+		viewOv(2, 2, 1, 0, []int{0, 0}, []int{0, 0}),
+		viewOv(3, 3, 0, 0, []int{0, 0}, []int{0, 0}),
+	}
+	want := Mapping{1, 0, 1, 0}
+	// Only the overlap-weighted policies can observe a literally zero graph:
+	// the unweighted reciprocal-symbiosis metric clamps at 1, never 0.
+	for _, p := range []Policy{WeightedInterferenceGraph{}, TwoPhase{}} {
+		m := p.Allocate(views, 2)
+		if m.Key() != want.Key() {
+			t.Errorf("%s reshuffled a signal-free system: %v, want %v", p.Name(), m, want)
+		}
+	}
+}

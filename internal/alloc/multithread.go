@@ -1,0 +1,76 @@
+package alloc
+
+import (
+	"sort"
+
+	"symbiosched/internal/kernel"
+)
+
+// TwoPhase is §3.3.4: the adaptation of the graph algorithms for
+// multi-threaded applications. Threads of one process share data, so their
+// mutual "interference" is really sharing and must not drive them apart.
+//
+// Phase 1 considers each multi-threaded process in isolation and groups its
+// threads by occupancy-weight sorting (which threads will live on the same
+// core). Phase 2 runs the weighted interference graph at thread granularity
+// with intra-process edges pinned: a very large weight for same-group pairs
+// (MIN-CUT keeps them together) and zero for different-group pairs (nothing
+// holds them together), while inter-process edges keep their §3.3.3 weights.
+type TwoPhase struct{}
+
+// Name returns the algorithm's name.
+func (TwoPhase) Name() string { return "two-phase-multithreaded" }
+
+// Allocate implements Policy.
+func (TwoPhase) Allocate(views []kernel.View, cores int) Mapping {
+	g := buildGraph(views, true)
+
+	// Pin weight: larger than any possible sum of real edges so the MIN-CUT
+	// can never profit from splitting a pinned pair.
+	pin := 10 * (g.TotalWeight() + 1)
+
+	// Phase 1: per-process weight sorting of its threads into `cores`
+	// same-core groups.
+	byProc := map[int][]int{} // proc ID → view indices
+	for i, v := range views {
+		byProc[v.ProcID] = append(byProc[v.ProcID], i)
+	}
+	procIDs := make([]int, 0, len(byProc))
+	for id := range byProc {
+		procIDs = append(procIDs, id)
+	}
+	sort.Ints(procIDs)
+
+	for _, id := range procIDs {
+		members := byProc[id]
+		if len(members) < 2 {
+			continue
+		}
+		// Sort the process's threads by occupancy weight (descending) and
+		// pack consecutive runs together, exactly like WeightSort but
+		// scoped to one process.
+		order := append([]int(nil), members...)
+		sort.SliceStable(order, func(a, b int) bool {
+			return views[order[a]].Occupancy > views[order[b]].Occupancy
+		})
+		groupSize := (len(order) + cores - 1) / cores
+		groupOf := map[int]int{}
+		for rank, idx := range order {
+			groupOf[idx] = rank / groupSize
+		}
+		// Phase 2 edge adjustment (Fig 8b): same group → pin, different
+		// group → zero.
+		for x := 0; x < len(members); x++ {
+			for y := x + 1; y < len(members); y++ {
+				a, b := members[x], members[y]
+				if groupOf[a] == groupOf[b] {
+					g.SetWeight(a, b, pin)
+				} else {
+					g.SetWeight(a, b, 0)
+				}
+			}
+		}
+	}
+
+	return partitionOrKeep(g, views, cores)
+}

@@ -1,0 +1,251 @@
+// Package bitvec provides dense, fixed-length bit vectors and the small
+// boolean algebra the Bloom-filter signature hardware is built from.
+//
+// The signature infrastructure of the paper manipulates three kinds of
+// bitvectors — Core Filters (CF), Last Filters (LF) and Running Bit Vectors
+// (RBV) — with four operations: set/clear of individual bits, the implication
+// combination RBV = ¬(CF → LF) = CF ∧ ¬LF, the XOR used by the symbiosis
+// metric, and population count. All of those are provided here on a compact
+// []uint64 representation so that a 64K-entry filter costs 8 KiB and the
+// per-context-switch operations compile to a handful of word ops per cache
+// line worth of filter, mirroring the "parallel bitwise XOR gates" cost
+// argument in §5.4 of the paper.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-length dense bit vector. The zero value is an empty
+// vector of length 0; use New to create a sized vector.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zeroed Vector with n bits. It panics if n is negative.
+func New(n int) *Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	return &Vector{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromIndices returns a Vector of length n with exactly the given bit
+// positions set. It panics if any index is out of range.
+func FromIndices(n int, indices ...int) *Vector {
+	v := New(n)
+	for _, i := range indices {
+		v.Set(i)
+	}
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// check panics if i is out of range.
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Set sets bit i to 1.
+func (v *Vector) Set(i int) {
+	v.check(i)
+	v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear sets bit i to 0.
+func (v *Vector) Clear(i int) {
+	v.check(i)
+	v.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Test reports whether bit i is 1.
+func (v *Vector) Test(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Reset zeroes every bit, keeping the length.
+func (v *Vector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// PopCount returns the number of 1 bits. This is the "occupancy weight" of a
+// filter in the paper's terminology.
+func (v *Vector) PopCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns an independent copy of v.
+func (v *Vector) Clone() *Vector {
+	w := New(v.n)
+	copy(w.words, v.words)
+	return w
+}
+
+// CopyFrom overwrites v with the contents of src. The lengths must match.
+func (v *Vector) CopyFrom(src *Vector) {
+	v.mustMatch(src)
+	copy(v.words, src.words)
+}
+
+func (v *Vector) mustMatch(o *Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d != %d", v.n, o.n))
+	}
+}
+
+// maskTail zeroes the bits beyond Len in the last word. Internal invariant:
+// all operations keep the tail zeroed; maskTail re-establishes it after word
+// level operations that could set tail bits (e.g. Not).
+func (v *Vector) maskTail() {
+	if rem := v.n % wordBits; rem != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// And stores a ∧ b into v. All three may alias.
+func (v *Vector) And(a, b *Vector) {
+	a.mustMatch(b)
+	v.mustMatch(a)
+	for i := range v.words {
+		v.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// Or stores a ∨ b into v. All three may alias.
+func (v *Vector) Or(a, b *Vector) {
+	a.mustMatch(b)
+	v.mustMatch(a)
+	for i := range v.words {
+		v.words[i] = a.words[i] | b.words[i]
+	}
+}
+
+// Xor stores a ⊕ b into v. All three may alias.
+func (v *Vector) Xor(a, b *Vector) {
+	a.mustMatch(b)
+	v.mustMatch(a)
+	for i := range v.words {
+		v.words[i] = a.words[i] ^ b.words[i]
+	}
+}
+
+// AndNot stores a ∧ ¬b into v. This is the paper's RBV combination:
+// RBV = ¬(CF → LF) = CF ∧ ¬LF, with a=CF and b=LF. All three may alias.
+func (v *Vector) AndNot(a, b *Vector) {
+	a.mustMatch(b)
+	v.mustMatch(a)
+	for i := range v.words {
+		v.words[i] = a.words[i] &^ b.words[i]
+	}
+}
+
+// Not stores ¬a into v. v and a may alias.
+func (v *Vector) Not(a *Vector) {
+	v.mustMatch(a)
+	for i := range v.words {
+		v.words[i] = ^a.words[i]
+	}
+	v.maskTail()
+}
+
+// XorCount returns popcount(v ⊕ o) without allocating. This is the paper's
+// symbiosis metric between an RBV and a Core Filter.
+func (v *Vector) XorCount(o *Vector) int {
+	v.mustMatch(o)
+	c := 0
+	for i, w := range v.words {
+		c += bits.OnesCount64(w ^ o.words[i])
+	}
+	return c
+}
+
+// AndCount returns popcount(v ∧ o) without allocating: the number of filter
+// positions both vectors claim, i.e. the direct overlap of two footprints.
+func (v *Vector) AndCount(o *Vector) int {
+	v.mustMatch(o)
+	c := 0
+	for i, w := range v.words {
+		c += bits.OnesCount64(w & o.words[i])
+	}
+	return c
+}
+
+// Equal reports whether v and o have identical length and contents.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i, w := range v.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Any reports whether at least one bit is set.
+func (v *Vector) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Indices returns the positions of all set bits in increasing order.
+func (v *Vector) Indices() []int {
+	out := make([]int, 0, v.PopCount())
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// String renders the vector as a compact 0/1 string (bit 0 first), capped at
+// 256 bits with an ellipsis, for debugging output.
+func (v *Vector) String() string {
+	var sb strings.Builder
+	n := v.n
+	truncated := false
+	if n > 256 {
+		n = 256
+		truncated = true
+	}
+	sb.Grow(n + 16)
+	for i := 0; i < n; i++ {
+		if v.Test(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	if truncated {
+		fmt.Fprintf(&sb, "…(+%d)", v.n-256)
+	}
+	return sb.String()
+}
+
+// Words exposes the raw backing words (read-only by convention) so that
+// codecs and hashing can operate without copying.
+func (v *Vector) Words() []uint64 { return v.words }

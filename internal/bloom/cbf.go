@@ -1,0 +1,152 @@
+package bloom
+
+import (
+	"fmt"
+
+	"symbiosched/internal/bitvec"
+)
+
+// QueryResult is the outcome of a Bloom filter membership query (§2.4).
+type QueryResult int
+
+const (
+	// TrueMiss means the element has definitely never been inserted (or has
+	// been fully deleted).
+	TrueMiss QueryResult = iota
+	// Inconclusive means the element may be present: every probed counter is
+	// nonzero, which can also happen through aliasing.
+	Inconclusive
+)
+
+// String renders the query outcome in the paper's terminology.
+func (q QueryResult) String() string {
+	if q == TrueMiss {
+		return "true-miss"
+	}
+	return "inconclusive"
+}
+
+// CountingBloomFilter is the classic counting Bloom filter of §2.4: an array
+// of L-bit saturating counters probed through k hash functions, supporting
+// insertion, deletion and membership queries. When several hash functions of
+// one address collide on the same counter, the counter moves by one only —
+// exactly the behaviour the paper specifies.
+//
+// The signature hardware in this package (Unit) uses the specialised
+// split-CBF layout of §3.1 instead; this type exists to model and test the
+// base structure the paper builds on.
+type CountingBloomFilter struct {
+	hasher   *MultiHasher
+	counters []uint32
+	max      uint32 // saturation ceiling, 2^L - 1
+
+	// Saturations counts increments lost to counter saturation; a nonzero
+	// value means deletions can no longer be trusted (the paper requires L
+	// wide enough to prevent this).
+	Saturations uint64
+	// Underflows counts decrements of an already-zero counter, which can
+	// only happen after saturation or mismatched delete.
+	Underflows uint64
+
+	scratch []int // reusable dedup buffer for probe indices
+}
+
+// NewCountingBloomFilter returns a CBF with k hash functions, a power-of-two
+// number of counters, and counterBits-wide saturating counters.
+func NewCountingBloomFilter(k, entries, counterBits int) *CountingBloomFilter {
+	if counterBits <= 0 || counterBits > 32 {
+		panic(fmt.Sprintf("bloom: counterBits %d out of range (0,32]", counterBits))
+	}
+	return &CountingBloomFilter{
+		hasher:   NewMultiHasher(k, entries),
+		counters: make([]uint32, entries),
+		max:      uint32(1)<<uint(counterBits) - 1,
+		scratch:  make([]int, 0, k),
+	}
+}
+
+// probes fills the dedup scratch buffer with the distinct probe indices for
+// addr, so colliding hash functions touch each counter once.
+func (f *CountingBloomFilter) probes(addr uint64) []int {
+	f.scratch = f.scratch[:0]
+outer:
+	for i := 0; i < f.hasher.K(); i++ {
+		idx := f.hasher.Index(i, addr)
+		for _, seen := range f.scratch {
+			if seen == idx {
+				continue outer
+			}
+		}
+		f.scratch = append(f.scratch, idx)
+	}
+	return f.scratch
+}
+
+// Insert records an occurrence of addr.
+func (f *CountingBloomFilter) Insert(addr uint64) {
+	for _, idx := range f.probes(addr) {
+		if f.counters[idx] == f.max {
+			f.Saturations++
+			continue
+		}
+		f.counters[idx]++
+	}
+}
+
+// Delete removes one occurrence of addr.
+func (f *CountingBloomFilter) Delete(addr uint64) {
+	for _, idx := range f.probes(addr) {
+		if f.counters[idx] == 0 {
+			f.Underflows++
+			continue
+		}
+		f.counters[idx]--
+	}
+}
+
+// Query tests membership of addr. A zero counter at any probe position is a
+// definite "never seen" (TrueMiss); otherwise the result is Inconclusive.
+func (f *CountingBloomFilter) Query(addr uint64) QueryResult {
+	for _, idx := range f.probes(addr) {
+		if f.counters[idx] == 0 {
+			return TrueMiss
+		}
+	}
+	return Inconclusive
+}
+
+// OccupancyWeight returns the number of nonzero counters — the paper's
+// "number of ones in the bit vector" footprint metric, generalised to the
+// counter array.
+func (f *CountingBloomFilter) OccupancyWeight() int {
+	n := 0
+	for _, c := range f.counters {
+		if c != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Bitvector renders the nonzero-counter positions as a bit vector.
+func (f *CountingBloomFilter) Bitvector() *bitvec.Vector {
+	v := bitvec.New(len(f.counters))
+	for i, c := range f.counters {
+		if c != 0 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// Entries returns the number of counters.
+func (f *CountingBloomFilter) Entries() int { return len(f.counters) }
+
+// Reset zeroes all counters and statistics.
+func (f *CountingBloomFilter) Reset() {
+	for i := range f.counters {
+		f.counters[i] = 0
+	}
+	f.Saturations = 0
+	f.Underflows = 0
+}

@@ -1,0 +1,216 @@
+package bloom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCBFInsertQueryDelete(t *testing.T) {
+	f := NewCountingBloomFilter(2, 1024, 8)
+	addrs := []uint64{1, 42, 9999, 1 << 40}
+	for _, a := range addrs {
+		if got := f.Query(a); got != TrueMiss {
+			t.Fatalf("Query(%d) before insert = %v, want true-miss", a, got)
+		}
+	}
+	for _, a := range addrs {
+		f.Insert(a)
+	}
+	for _, a := range addrs {
+		if got := f.Query(a); got != Inconclusive {
+			t.Fatalf("Query(%d) after insert = %v, want inconclusive", a, got)
+		}
+	}
+	for _, a := range addrs {
+		f.Delete(a)
+	}
+	for _, a := range addrs {
+		if got := f.Query(a); got != TrueMiss {
+			t.Fatalf("Query(%d) after delete = %v, want true-miss", a, got)
+		}
+	}
+	if f.Saturations != 0 || f.Underflows != 0 {
+		t.Fatalf("unexpected saturations=%d underflows=%d", f.Saturations, f.Underflows)
+	}
+}
+
+func TestCBFQueryResultString(t *testing.T) {
+	if TrueMiss.String() != "true-miss" || Inconclusive.String() != "inconclusive" {
+		t.Fatal("QueryResult strings wrong")
+	}
+}
+
+func TestCBFOccupancyWeight(t *testing.T) {
+	f := NewCountingBloomFilter(1, 256, 4)
+	if f.OccupancyWeight() != 0 {
+		t.Fatal("empty filter has nonzero occupancy")
+	}
+	for a := uint64(0); a < 50; a++ {
+		f.Insert(a)
+	}
+	w := f.OccupancyWeight()
+	if w <= 0 || w > 50 {
+		t.Fatalf("occupancy after 50 inserts = %d, want (0,50]", w)
+	}
+	if bv := f.Bitvector(); bv.PopCount() != w {
+		t.Fatalf("Bitvector popcount %d != occupancy %d", bv.PopCount(), w)
+	}
+}
+
+func TestCBFSaturation(t *testing.T) {
+	f := NewCountingBloomFilter(1, 2, 2) // counters max out at 3
+	for i := 0; i < 10; i++ {
+		f.Insert(7)
+	}
+	if f.Saturations == 0 {
+		t.Fatal("no saturation recorded after overfilling 2-bit counter")
+	}
+	// Deleting as many times as inserted must underflow because increments
+	// were lost; the filter records the anomaly rather than wrapping.
+	for i := 0; i < 10; i++ {
+		f.Delete(7)
+	}
+	if f.Underflows == 0 {
+		t.Fatal("no underflow recorded after deleting past zero")
+	}
+}
+
+func TestCBFDuplicateHashIncrementsOnce(t *testing.T) {
+	// With many hash functions over a tiny filter, some address will have
+	// colliding probes; the per-address counter movement must still be one.
+	f := NewCountingBloomFilter(8, 2, 8)
+	f.Insert(123)
+	total := uint32(0)
+	for _, c := range f.counters {
+		total += c
+	}
+	if total > 2 {
+		t.Fatalf("one insert moved counters by %d; duplicates must count once", total)
+	}
+	f.Delete(123)
+	for i, c := range f.counters {
+		if c != 0 {
+			t.Fatalf("counter %d = %d after matched delete", i, c)
+		}
+	}
+}
+
+func TestCBFReset(t *testing.T) {
+	f := NewCountingBloomFilter(2, 64, 3)
+	for a := uint64(0); a < 100; a++ {
+		f.Insert(a)
+	}
+	f.Reset()
+	if f.OccupancyWeight() != 0 || f.Saturations != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	if f.Entries() != 64 {
+		t.Fatalf("Entries = %d after reset", f.Entries())
+	}
+}
+
+func TestCBFInvalidCounterBits(t *testing.T) {
+	for _, bits := range []int{0, -1, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("counterBits=%d did not panic", bits)
+				}
+			}()
+			NewCountingBloomFilter(1, 64, bits)
+		}()
+	}
+}
+
+// Property (§2.4): insert/delete are exact inverses while no counter
+// saturates — a deleted address always returns to true-miss if it was the
+// only occurrence, and the filter returns to its prior occupancy.
+func TestCBFInsertDeleteInverseQuick(t *testing.T) {
+	f := NewCountingBloomFilter(2, 4096, 16)
+	check := func(addrs []uint64) bool {
+		if len(addrs) > 200 {
+			addrs = addrs[:200]
+		}
+		before := f.OccupancyWeight()
+		for _, a := range addrs {
+			f.Insert(a)
+		}
+		for _, a := range addrs {
+			f.Delete(a)
+		}
+		return f.OccupancyWeight() == before && f.Saturations == 0 && f.Underflows == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: no false negatives — an address still present (inserted more
+// times than deleted) never reports true-miss.
+func TestCBFNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := NewCountingBloomFilter(3, 2048, 16)
+	live := map[uint64]int{}
+	for step := 0; step < 5000; step++ {
+		a := uint64(rng.Intn(500)) * 977
+		if rng.Intn(3) == 0 && live[a] > 0 {
+			f.Delete(a)
+			live[a]--
+		} else {
+			f.Insert(a)
+			live[a]++
+		}
+	}
+	for a, n := range live {
+		if n > 0 && f.Query(a) == TrueMiss {
+			t.Fatalf("address %d live (count %d) but query says true-miss", a, n)
+		}
+	}
+}
+
+func BenchmarkCBFInsert(b *testing.B) {
+	f := NewCountingBloomFilter(2, 16384, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Insert(uint64(i))
+	}
+}
+
+// TestCBFFalsePositiveRateMatchesTheory checks the classic Bloom filter
+// false-positive model: after inserting n random items into m counters with
+// k hashes, the probability that a fresh item queries Inconclusive is
+// approximately (1 - e^{-kn/m})^k.
+func TestCBFFalsePositiveRateMatchesTheory(t *testing.T) {
+	const (
+		m = 4096
+		k = 3
+		n = 1000
+	)
+	f := NewCountingBloomFilter(k, m, 16)
+	rng := rand.New(rand.NewSource(99))
+	inserted := map[uint64]bool{}
+	for len(inserted) < n {
+		a := rng.Uint64()
+		if !inserted[a] {
+			inserted[a] = true
+			f.Insert(a)
+		}
+	}
+	trials, falsePos := 20000, 0
+	for i := 0; i < trials; i++ {
+		a := rng.Uint64()
+		if inserted[a] {
+			continue
+		}
+		if f.Query(a) == Inconclusive {
+			falsePos++
+		}
+	}
+	got := float64(falsePos) / float64(trials)
+	want := math.Pow(1-math.Exp(-float64(k*n)/float64(m)), float64(k))
+	if math.Abs(got-want) > 0.03 {
+		t.Fatalf("false-positive rate %.4f, theory %.4f", got, want)
+	}
+}

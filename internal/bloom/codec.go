@@ -1,0 +1,146 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"symbiosched/internal/bitvec"
+)
+
+// Signature wire format, the §3.2 kernel→monitor syscall payload:
+//
+//	byte    version (1)
+//	uvarint last core
+//	uvarint occupancy
+//	uvarint len(symbiosis), then one svarint per entry
+//	uvarint len(overlap), then one svarint per entry
+//	uvarint RBV bit length (0 = RBV omitted), then ⌈bits/64⌉ little-endian words
+//
+// The paper sizes the record at (2+N) 32-bit words plus an optional 1KB RBV
+// transfer; the varint encoding keeps typical payloads below that.
+const sigCodecVersion = 1
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Signature) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, sigCodecVersion)
+	buf = binary.AppendUvarint(buf, uint64(s.LastCore))
+	buf = binary.AppendUvarint(buf, uint64(s.Occupancy))
+	buf = binary.AppendUvarint(buf, uint64(len(s.Symbiosis)))
+	for _, v := range s.Symbiosis {
+		buf = binary.AppendVarint(buf, int64(v))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.Overlap)))
+	for _, v := range s.Overlap {
+		buf = binary.AppendVarint(buf, int64(v))
+	}
+	if s.RBV == nil {
+		buf = binary.AppendUvarint(buf, 0)
+		return buf, nil
+	}
+	buf = binary.AppendUvarint(buf, uint64(s.RBV.Len()))
+	for _, w := range s.RBV.Words() {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Signature) UnmarshalBinary(data []byte) error {
+	if len(data) == 0 {
+		return errors.New("bloom: empty signature payload")
+	}
+	if data[0] != sigCodecVersion {
+		return fmt.Errorf("bloom: unknown signature codec version %d", data[0])
+	}
+	data = data[1:]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, errors.New("bloom: truncated signature payload")
+		}
+		data = data[n:]
+		return v, nil
+	}
+	nextSigned := func() (int64, error) {
+		v, n := binary.Varint(data)
+		if n <= 0 {
+			return 0, errors.New("bloom: truncated signature payload")
+		}
+		data = data[n:]
+		return v, nil
+	}
+
+	lastCore, err := next()
+	if err != nil {
+		return err
+	}
+	occ, err := next()
+	if err != nil {
+		return err
+	}
+	nsym, err := next()
+	if err != nil {
+		return err
+	}
+	if nsym > 1024 {
+		return fmt.Errorf("bloom: implausible symbiosis vector length %d", nsym)
+	}
+	sym := make([]int, nsym)
+	for i := range sym {
+		v, err := nextSigned()
+		if err != nil {
+			return err
+		}
+		sym[i] = int(v)
+	}
+	nov, err := next()
+	if err != nil {
+		return err
+	}
+	if nov > 1024 {
+		return fmt.Errorf("bloom: implausible overlap vector length %d", nov)
+	}
+	overlap := make([]int, nov)
+	for i := range overlap {
+		v, err := nextSigned()
+		if err != nil {
+			return err
+		}
+		overlap[i] = int(v)
+	}
+	bits, err := next()
+	if err != nil {
+		return err
+	}
+	var rbv *bitvec.Vector
+	if bits > 0 {
+		if bits > 1<<28 {
+			return fmt.Errorf("bloom: implausible RBV length %d", bits)
+		}
+		words := (int(bits) + 63) / 64
+		if len(data) < 8*words {
+			return errors.New("bloom: truncated RBV payload")
+		}
+		rbv = bitvec.New(int(bits))
+		dst := rbv.Words()
+		for i := 0; i < words; i++ {
+			dst[i] = binary.LittleEndian.Uint64(data[8*i:])
+		}
+		data = data[8*words:]
+		if rem := int(bits) % 64; rem != 0 && dst[words-1]>>uint(rem) != 0 {
+			return errors.New("bloom: RBV tail bits set beyond declared length")
+		}
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("bloom: %d trailing bytes in signature payload", len(data))
+	}
+
+	s.LastCore = int(lastCore)
+	s.Occupancy = int(occ)
+	s.Symbiosis = sym
+	s.Overlap = overlap
+	s.RBV = rbv
+	return nil
+}

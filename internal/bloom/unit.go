@@ -1,0 +1,330 @@
+package bloom
+
+import (
+	"fmt"
+
+	"symbiosched/internal/bitvec"
+)
+
+// Geometry describes the cache the signature unit is attached to, in the
+// units the unit cares about: sets and ways (frames = sets × ways).
+type Geometry struct {
+	Sets int // number of cache sets (power of two)
+	Ways int // associativity
+}
+
+// Lines returns the number of cache frames.
+func (g Geometry) Lines() int { return g.Sets * g.Ways }
+
+// Config parameterises a signature Unit.
+type Config struct {
+	Geometry    Geometry
+	Cores       int
+	Hash        HashKind
+	CounterBits int // width of the shared counter array entries; paper uses 3
+	// SampleRate is the set-sampling divisor from §5.4: only sets with
+	// index ≡ 0 (mod SampleRate) are monitored, and the filter has
+	// Lines/SampleRate entries. 1 disables sampling; 4 is the paper's 25%.
+	SampleRate int
+	// EntriesFactor multiplies the filter size beyond the paper's
+	// one-entry-per-sampled-line (0 or 1 keeps the paper's sizing; must be
+	// a power of two). At the paper's sizing the filter load factor is 1.0
+	// whenever the cache is full, so the Core Filters saturate and the RBV
+	// of anything co-located with another cache-filling application is
+	// capped at the filter's headroom (a few percent). A factor of 2 halves
+	// the load factor and restores the occupancy signal for cache-filling
+	// pairs at twice the (still small) storage cost.
+	EntriesFactor int
+}
+
+func (c Config) validate() error {
+	g := c.Geometry
+	if g.Sets <= 0 || g.Sets&(g.Sets-1) != 0 {
+		return fmt.Errorf("bloom: sets %d must be a positive power of two", g.Sets)
+	}
+	if g.Ways <= 0 {
+		return fmt.Errorf("bloom: ways %d must be positive", g.Ways)
+	}
+	if c.Cores <= 0 {
+		return fmt.Errorf("bloom: cores %d must be positive", c.Cores)
+	}
+	if c.CounterBits <= 0 || c.CounterBits > 32 {
+		return fmt.Errorf("bloom: counter bits %d out of range (0,32]", c.CounterBits)
+	}
+	if c.SampleRate <= 0 || c.SampleRate&(c.SampleRate-1) != 0 {
+		return fmt.Errorf("bloom: sample rate %d must be a positive power of two", c.SampleRate)
+	}
+	if g.Sets%c.SampleRate != 0 {
+		return fmt.Errorf("bloom: sample rate %d does not divide sets %d", c.SampleRate, g.Sets)
+	}
+	if g.Lines()/c.SampleRate < 2 {
+		return fmt.Errorf("bloom: filter would have %d entries", g.Lines()/c.SampleRate)
+	}
+	if f := c.EntriesFactor; f != 0 && (f < 0 || f&(f-1) != 0) {
+		return fmt.Errorf("bloom: entries factor %d must be a power of two", f)
+	}
+	return nil
+}
+
+// entries returns the filter size for the configuration.
+func (c Config) entries() int {
+	e := c.Geometry.Lines() / c.SampleRate
+	if c.EntriesFactor > 1 {
+		e *= c.EntriesFactor
+	}
+	return e
+}
+
+// DefaultConfig returns the paper's configuration for the given cache
+// geometry and core count: XOR hash, 3-bit counters, 25% sampling.
+func DefaultConfig(g Geometry, cores int) Config {
+	return Config{Geometry: g, Cores: cores, Hash: HashXOR, CounterBits: 3, SampleRate: 4}
+}
+
+// Signature is the per-process (or per-VM) record the OS keeps as part of
+// the context: the paper's "(2+N)-entry data structure" of §3.2 plus the raw
+// RBV so software policies can recompute metrics if desired.
+type Signature struct {
+	LastCore  int   // core the application last ran on
+	Occupancy int   // popcount(RBV): cache footprint estimate
+	Symbiosis []int // popcount(RBV ⊕ CF[j]) per core j; high = low interference
+	// Overlap[j] is popcount(RBV ∧ CF[j]): the number of filter positions
+	// the application's footprint shares with core j's current contents —
+	// the occupancy-weighted interference measure of §3.3.3, bounded by
+	// min(|RBV|, |CF_j|) so it is inherently weighted by both sides'
+	// occupancies (see DESIGN.md note 10).
+	Overlap []int
+	RBV     *bitvec.Vector
+}
+
+// Clone returns an independent deep copy.
+func (s *Signature) Clone() *Signature {
+	c := &Signature{LastCore: s.LastCore, Occupancy: s.Occupancy}
+	c.Symbiosis = append([]int(nil), s.Symbiosis...)
+	c.Overlap = append([]int(nil), s.Overlap...)
+	if s.RBV != nil {
+		c.RBV = s.RBV.Clone()
+	}
+	return c
+}
+
+// Unit is the split counting Bloom filter of §3.1: one shared counter array
+// plus a Core Filter bitvector per core, each with an associated Last Filter
+// snapshot. The cache calls OnFill for every L2 fill (miss) and OnEvict for
+// every replacement; the OS/hypervisor calls ContextSwitch when it
+// deschedules an application from a core.
+type Unit struct {
+	cfg     Config
+	hasher  Hasher // nil in presence mode
+	entries int
+	ctrMax  uint32
+
+	counters []uint32
+	cf       []*bitvec.Vector // core filters, one per core
+	lf       []*bitvec.Vector // last filters (snapshots at context switch)
+
+	// Stats
+	Fills       uint64 // sampled fills observed
+	Evicts      uint64 // sampled evictions observed
+	Skipped     uint64 // events outside the sampled sets
+	Saturations uint64 // increments lost to counter saturation
+	Underflows  uint64 // decrements of a zero counter
+}
+
+// NewUnit constructs a signature unit. It panics on an invalid Config (the
+// configuration is programmer-supplied machine description, not user input).
+func NewUnit(cfg Config) *Unit {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	entries := cfg.entries()
+	u := &Unit{
+		cfg:      cfg,
+		entries:  entries,
+		ctrMax:   uint32(1)<<uint(cfg.CounterBits) - 1,
+		counters: make([]uint32, entries),
+		cf:       make([]*bitvec.Vector, cfg.Cores),
+		lf:       make([]*bitvec.Vector, cfg.Cores),
+	}
+	if cfg.Hash != HashPresence {
+		u.hasher = NewHasher(cfg.Hash, entries)
+	}
+	for i := range u.cf {
+		u.cf[i] = bitvec.New(entries)
+		u.lf[i] = bitvec.New(entries)
+	}
+	return u
+}
+
+// Config returns the unit's configuration.
+func (u *Unit) Config() Config { return u.cfg }
+
+// Entries returns the filter size.
+func (u *Unit) Entries() int { return u.entries }
+
+// sampled reports whether events in this set are monitored.
+func (u *Unit) sampled(set int) bool { return set%u.cfg.SampleRate == 0 }
+
+// index maps an event to its filter index, or -1 if the event falls outside
+// the sampled sets. In presence mode the index is the cache frame itself
+// (compacted over the sampled sets); otherwise it is the address hash.
+func (u *Unit) index(lineAddr uint64, set, way int) int {
+	if !u.sampled(set) {
+		return -1
+	}
+	if u.hasher == nil {
+		return (set/u.cfg.SampleRate)*u.cfg.Geometry.Ways + way
+	}
+	return u.hasher.Index(lineAddr)
+}
+
+// OnFill records an L2 fill (miss) of lineAddr into frame (set,way) caused
+// by core. The shared counter is incremented and the core's CF bit set.
+func (u *Unit) OnFill(core int, lineAddr uint64, set, way int) {
+	idx := u.index(lineAddr, set, way)
+	if idx < 0 {
+		u.Skipped++
+		return
+	}
+	u.Fills++
+	if u.counters[idx] == u.ctrMax {
+		u.Saturations++
+	} else {
+		u.counters[idx]++
+	}
+	u.cf[core].Set(idx)
+}
+
+// OnEvict records the replacement of the line lineAddr held in frame
+// (set,way). The shared counter is decremented; when it reaches zero the
+// corresponding bit is cleared in every core filter, as in §3.1.
+func (u *Unit) OnEvict(lineAddr uint64, set, way int) {
+	idx := u.index(lineAddr, set, way)
+	if idx < 0 {
+		u.Skipped++
+		return
+	}
+	u.Evicts++
+	if u.counters[idx] == 0 {
+		u.Underflows++
+		return
+	}
+	u.counters[idx]--
+	if u.counters[idx] == 0 {
+		for _, cf := range u.cf {
+			cf.Clear(idx)
+		}
+	}
+}
+
+// ContextSwitch implements the §3.1 protocol for descheduling an application
+// from core: it extracts the RBV (CF ∧ ¬LF), computes occupancy weight and
+// per-core symbiosis, snapshots the CF into the LF for the next interval,
+// and returns the signature the OS stores in the outgoing context.
+//
+// Reproduction note: for the application's own core, the symbiosis is
+// computed against the Core Filter with the just-captured RBV masked out —
+// a process must not be measured as interfering with its own footprint.
+// Without the mask the self-XOR is structurally near zero (the RBV is a
+// subset of the own-core CF), every process reads as maximally interfering
+// with its current core, and the §3.3 graph algorithms freeze in whatever
+// mapping they start from. See DESIGN.md.
+func (u *Unit) ContextSwitch(core int) *Signature {
+	cf := u.cf[core]
+	rbv := bitvec.New(u.entries)
+	rbv.AndNot(cf, u.lf[core])
+
+	sig := &Signature{
+		LastCore:  core,
+		Occupancy: rbv.PopCount(),
+		Symbiosis: make([]int, u.cfg.Cores),
+		Overlap:   make([]int, u.cfg.Cores),
+		RBV:       rbv,
+	}
+	var masked *bitvec.Vector
+	for j := 0; j < u.cfg.Cores; j++ {
+		if j == core {
+			if masked == nil {
+				masked = bitvec.New(u.entries)
+			}
+			masked.AndNot(cf, rbv)
+			sig.Symbiosis[j] = rbv.XorCount(masked)
+			sig.Overlap[j] = rbv.AndCount(masked)
+		} else {
+			sig.Symbiosis[j] = rbv.XorCount(u.cf[j])
+			sig.Overlap[j] = rbv.AndCount(u.cf[j])
+		}
+	}
+	u.lf[core].CopyFrom(cf)
+	return sig
+}
+
+// CoreFilter returns a copy of core's CF (exposed for experiments that plot
+// footprints; the scheduler only consumes Signatures).
+func (u *Unit) CoreFilter(core int) *bitvec.Vector { return u.cf[core].Clone() }
+
+// OccupancyWeight returns popcount(CF[core]): the running footprint estimate
+// for the core (Fig 5's "occupancy weight" series).
+func (u *Unit) OccupancyWeight(core int) int { return u.cf[core].PopCount() }
+
+// TotalOccupancy returns the number of nonzero shared counters: the filter's
+// view of the whole L2's live footprint.
+func (u *Unit) TotalOccupancy() int {
+	n := 0
+	for _, c := range u.counters {
+		if c != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SymbiosisAgainst returns popcount(rbv ⊕ CF[core]): the symbiosis of a
+// previously captured RBV with the current contents of another core's filter
+// (used by the interference-graph algorithms).
+func (u *Unit) SymbiosisAgainst(rbv *bitvec.Vector, core int) int {
+	return rbv.XorCount(u.cf[core])
+}
+
+// Saturated reports whether the filter has lost increments to saturation,
+// after which footprint estimates may be biased low.
+func (u *Unit) Saturated() bool { return u.Saturations > 0 }
+
+// Reset clears all counters, filters and statistics.
+func (u *Unit) Reset() {
+	for i := range u.counters {
+		u.counters[i] = 0
+	}
+	for i := range u.cf {
+		u.cf[i].Reset()
+		u.lf[i].Reset()
+	}
+	u.Fills, u.Evicts, u.Skipped, u.Saturations, u.Underflows = 0, 0, 0, 0, 0
+}
+
+// Overhead models the §5.4 hardware-cost accounting: the storage added by
+// the counter array plus per-core CF and LF bitvectors, as a fraction of the
+// cache's data+tag storage.
+type Overhead struct {
+	FilterBits int     // total signature storage in bits
+	CacheBits  int     // cache data+tag storage in bits
+	Fraction   float64 // FilterBits / CacheBits
+}
+
+// OverheadFor computes the hardware overhead of a configuration for a cache
+// with the given line size in bytes and tag width in bits. With the paper's
+// parameters (64-byte lines, dual core, 3-bit counters, no sampling) the
+// per-line signature cost is counterBits + 2·cores bits; sampling divides
+// the whole signature cost by the sample rate, which is how the paper
+// arrives at ~2.13% for 25% sampling.
+func OverheadFor(cfg Config, lineBytes, tagBits int) Overhead {
+	lines := cfg.Geometry.Lines()
+	entries := lines / cfg.SampleRate
+	filterBits := entries * (cfg.CounterBits + 2*cfg.Cores)
+	cacheBits := lines * (lineBytes*8 + tagBits)
+	return Overhead{
+		FilterBits: filterBits,
+		CacheBits:  cacheBits,
+		Fraction:   float64(filterBits) / float64(cacheBits),
+	}
+}

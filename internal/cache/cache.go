@@ -1,0 +1,281 @@
+// Package cache implements the set-associative cache models that stand in
+// for the paper's Simics g-cache module: single caches with LRU replacement
+// and a two-level hierarchy (per-core private L1s over a shared L2) matching
+// the Intel Core 2 Duo and P4 Xeon configurations used in the evaluation.
+//
+// The shared L2 publishes fill and eviction events to a Listener so the
+// Bloom-filter signature unit (internal/bloom) can shadow its contents
+// exactly the way the paper's hardware does.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Replacement selects the victim-choice policy of a cache.
+type Replacement int
+
+const (
+	// LRU evicts the least-recently-used line (the default; the paper's
+	// machines and the g-cache model it emulates are LRU).
+	LRU Replacement = iota
+	// FIFO evicts the oldest-filled line regardless of reuse.
+	FIFO
+	// Random evicts a pseudo-random way (deterministic xorshift sequence).
+	Random
+)
+
+// String names the policy.
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Replacement(%d)", int(r))
+	}
+}
+
+// Config describes one cache's geometry.
+type Config struct {
+	SizeBytes int // total capacity in bytes
+	LineBytes int // line size in bytes (power of two)
+	Ways      int // associativity; 1 = direct mapped
+	// Replace selects the replacement policy (zero value: LRU). The
+	// signature scheme never modifies replacement — one of its selling
+	// points over the cache-partitioning related work (§6) — so every
+	// policy works with the same filters.
+	Replace Replacement
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
+
+// Lines returns the number of cache frames.
+func (c Config) Lines() int { return c.SizeBytes / c.LineBytes }
+
+// LineShift returns log2(LineBytes).
+func (c Config) LineShift() uint { return uint(bits.TrailingZeros(uint(c.LineBytes))) }
+
+func (c Config) validate() error {
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d must be a positive power of two", c.LineBytes)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache: ways %d must be positive", c.Ways)
+	}
+	if c.SizeBytes <= 0 || c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache: size %d not divisible into %d-byte lines × %d ways", c.SizeBytes, c.LineBytes, c.Ways)
+	}
+	s := c.Sets()
+	if s&(s-1) != 0 {
+		return fmt.Errorf("cache: set count %d must be a power of two", s)
+	}
+	return nil
+}
+
+// Listener observes fills and evictions of a cache. Set and way identify the
+// frame; lineAddr is the line-granular address (offset bits stripped).
+type Listener interface {
+	OnFill(core int, lineAddr uint64, set, way int)
+	OnEvict(lineAddr uint64, set, way int)
+}
+
+// Stats accumulates access counts for one cache.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// MissRate returns Misses/Accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// line is one cache frame.
+type line struct {
+	addr  uint64 // line-granular address
+	valid bool
+	used  uint64 // LRU timestamp
+}
+
+// Cache is a single set-associative cache with a configurable replacement
+// policy (true LRU by default).
+type Cache struct {
+	cfg       Config
+	sets      int
+	setMask   uint64
+	lineShift uint
+	frames    []line // sets × ways, row-major by set
+	clock     uint64
+	rng       uint64 // xorshift state for Random replacement
+	listener  Listener
+	stats     Stats
+	perCore   []Stats // indexed by core when known; grown on demand
+}
+
+// New constructs a cache. It panics on an invalid geometry (machine
+// descriptions are programmer-supplied, not user input).
+func New(cfg Config) *Cache {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      cfg.Sets(),
+		setMask:   uint64(cfg.Sets() - 1),
+		lineShift: cfg.LineShift(),
+		frames:    make([]line, cfg.Sets()*cfg.Ways),
+		rng:       0x9e3779b97f4a7c15,
+	}
+}
+
+// SetListener attaches a fill/evict observer (the signature unit).
+func (c *Cache) SetListener(l Listener) { c.listener = l }
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the accumulated counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// CoreStats returns the per-core counters (zero Stats for unseen cores).
+func (c *Cache) CoreStats(core int) Stats {
+	if core < len(c.perCore) {
+		return c.perCore[core]
+	}
+	return Stats{}
+}
+
+// LineAddr converts a byte address to the line-granular address.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift }
+
+// setOf returns the set index for a line address.
+func (c *Cache) setOf(lineAddr uint64) int { return int(lineAddr & c.setMask) }
+
+func (c *Cache) coreStats(core int) *Stats {
+	for core >= len(c.perCore) {
+		c.perCore = append(c.perCore, Stats{})
+	}
+	return &c.perCore[core]
+}
+
+// Access performs a load or store of addr on behalf of core. It returns true
+// on a hit. On a miss the line is filled, evicting the policy's victim if
+// the set is full; fills and evictions are reported to the listener.
+func (c *Cache) Access(core int, addr uint64) bool {
+	c.clock++
+	c.stats.Accesses++
+	cs := c.coreStats(core)
+	cs.Accesses++
+
+	lineAddr := c.LineAddr(addr)
+	set := c.setOf(lineAddr)
+	base := set * c.cfg.Ways
+
+	victim := -1
+	var victimUsed uint64 = ^uint64(0)
+	invalid := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		f := &c.frames[base+w]
+		if f.valid && f.addr == lineAddr {
+			if c.cfg.Replace == LRU {
+				f.used = c.clock
+			}
+			c.stats.Hits++
+			cs.Hits++
+			return true
+		}
+		if !f.valid {
+			if invalid < 0 {
+				invalid = w
+			}
+		} else if f.used < victimUsed {
+			victim, victimUsed = w, f.used
+		}
+	}
+
+	c.stats.Misses++
+	cs.Misses++
+	switch {
+	case invalid >= 0:
+		victim = invalid
+	case c.cfg.Replace == Random:
+		// xorshift64: deterministic pseudo-random way selection.
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		victim = int(c.rng % uint64(c.cfg.Ways))
+	}
+	f := &c.frames[base+victim]
+	if f.valid {
+		c.stats.Evictions++
+		if c.listener != nil {
+			c.listener.OnEvict(f.addr, set, victim)
+		}
+	}
+	f.addr = lineAddr
+	f.valid = true
+	f.used = c.clock
+	if c.listener != nil {
+		c.listener.OnFill(core, lineAddr, set, victim)
+	}
+	return false
+}
+
+// Contains reports whether the line holding addr is resident (no LRU or
+// stats side effects). Intended for tests and footprint probes.
+func (c *Cache) Contains(addr uint64) bool {
+	lineAddr := c.LineAddr(addr)
+	base := c.setOf(lineAddr) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		f := &c.frames[base+w]
+		if f.valid && f.addr == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// ResidentLines returns the number of valid frames: the cache's true
+// footprint, used as ground truth when validating occupancy estimates.
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for i := range c.frames {
+		if c.frames[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates every frame, reporting evictions to the listener.
+func (c *Cache) Flush() {
+	for i := range c.frames {
+		f := &c.frames[i]
+		if f.valid {
+			c.stats.Evictions++
+			if c.listener != nil {
+				c.listener.OnEvict(f.addr, i/c.cfg.Ways, i%c.cfg.Ways)
+			}
+			f.valid = false
+		}
+	}
+}
+
+// ResetStats zeroes the counters without disturbing cache contents.
+func (c *Cache) ResetStats() {
+	c.stats = Stats{}
+	for i := range c.perCore {
+		c.perCore[i] = Stats{}
+	}
+}

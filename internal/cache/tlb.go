@@ -1,0 +1,75 @@
+package cache
+
+import "fmt"
+
+// TLB is a fully-associative, LRU translation lookaside buffer over 4KB
+// pages. §2.2 of the paper dismisses TLB-miss counters as footprint proxies
+// alongside cache-miss counters ("Other metrics such as TLB misses or page
+// faults have similar problems"); this model lets the Figure 2/5 experiment
+// measure that claim instead of asserting it.
+type TLB struct {
+	pageShift uint
+	slots     []tlbSlot
+	clock     uint64
+	stats     Stats
+}
+
+type tlbSlot struct {
+	page  uint64
+	valid bool
+	used  uint64
+}
+
+// NewTLB returns a TLB with the given number of entries over pages of
+// 2^pageShift bytes (pass 12 for 4KB pages).
+func NewTLB(entries int, pageShift uint) *TLB {
+	if entries <= 0 {
+		panic(fmt.Sprintf("cache: TLB entries %d must be positive", entries))
+	}
+	if pageShift < 6 || pageShift > 30 {
+		panic(fmt.Sprintf("cache: TLB page shift %d out of range [6,30]", pageShift))
+	}
+	return &TLB{pageShift: pageShift, slots: make([]tlbSlot, entries)}
+}
+
+// Access looks up the page holding addr, filling on a miss (evicting the
+// LRU entry). It returns true on a hit.
+func (t *TLB) Access(addr uint64) bool {
+	t.clock++
+	t.stats.Accesses++
+	page := addr >> t.pageShift
+	victim := 0
+	var victimUsed uint64 = ^uint64(0)
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.valid && s.page == page {
+			s.used = t.clock
+			t.stats.Hits++
+			return true
+		}
+		if !s.valid {
+			victim, victimUsed = i, 0
+		} else if s.used < victimUsed {
+			victim, victimUsed = i, s.used
+		}
+	}
+	t.stats.Misses++
+	if t.slots[victim].valid {
+		t.stats.Evictions++
+	}
+	t.slots[victim] = tlbSlot{page: page, valid: true, used: t.clock}
+	return false
+}
+
+// Stats returns the accumulated counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// Entries returns the TLB capacity.
+func (t *TLB) Entries() int { return len(t.slots) }
+
+// Flush invalidates all entries (a context switch without tagged TLBs).
+func (t *TLB) Flush() {
+	for i := range t.slots {
+		t.slots[i].valid = false
+	}
+}

@@ -1,0 +1,89 @@
+package cache
+
+import "testing"
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(4, 12)
+	if tlb.Access(0x1000) {
+		t.Fatal("cold TLB access hit")
+	}
+	if !tlb.Access(0x1abc) { // same 4KB page
+		t.Fatal("same-page access missed")
+	}
+	if tlb.Access(0x2000) {
+		t.Fatal("new page hit")
+	}
+	st := tlb.Stats()
+	if st.Accesses != 3 || st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if tlb.Entries() != 4 {
+		t.Fatalf("Entries = %d", tlb.Entries())
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := NewTLB(2, 12)
+	tlb.Access(0x1000) // page 1
+	tlb.Access(0x2000) // page 2
+	tlb.Access(0x1000) // touch page 1: page 2 is LRU
+	tlb.Access(0x3000) // evicts page 2
+	if !tlb.Access(0x1000) {
+		t.Fatal("recently used page evicted")
+	}
+	if tlb.Access(0x2000) {
+		t.Fatal("LRU page not evicted")
+	}
+	if tlb.Stats().Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	tlb := NewTLB(8, 12)
+	tlb.Access(0x1000)
+	tlb.Flush()
+	if tlb.Access(0x1000) {
+		t.Fatal("entry survived Flush")
+	}
+}
+
+func TestTLBValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewTLB(0, 12) },
+		func() { NewTLB(4, 3) },
+		func() { NewTLB(4, 40) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid TLB config did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTLBWorkingSetBehaviour(t *testing.T) {
+	// A page working set within capacity converges to all hits; beyond
+	// capacity with round-robin access it thrashes (LRU pathology).
+	tlb := NewTLB(16, 12)
+	for pass := 0; pass < 4; pass++ {
+		for p := uint64(0); p < 16; p++ {
+			tlb.Access(p << 12)
+		}
+	}
+	if st := tlb.Stats(); st.Misses != 16 {
+		t.Fatalf("fitting page set missed %d times, want 16 cold misses", st.Misses)
+	}
+	big := NewTLB(16, 12)
+	for pass := 0; pass < 4; pass++ {
+		for p := uint64(0); p < 17; p++ {
+			big.Access(p << 12)
+		}
+	}
+	if st := big.Stats(); st.Hits != 0 {
+		t.Fatalf("17-page round robin on 16-entry LRU TLB got %d hits, want 0", st.Hits)
+	}
+}

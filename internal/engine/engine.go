@@ -1,0 +1,464 @@
+// Package engine is the multicore execution simulator that replaces the
+// paper's Simics phase and its real-machine phase: it interleaves per-core
+// instruction streams over the shared cache hierarchy with a simple timing
+// model, drives context switches and signature collection, and lets a
+// monitor callback re-pin threads exactly the way the paper's user-level
+// allocation process does through affinity bits (§3.2, §4).
+package engine
+
+import (
+	"fmt"
+
+	"symbiosched/internal/bloom"
+	"symbiosched/internal/cache"
+	"symbiosched/internal/kernel"
+	"symbiosched/internal/workload"
+)
+
+// Config parameterises a simulated machine.
+type Config struct {
+	Hierarchy cache.HierarchyConfig
+	// Signature configures the Bloom-filter unit. A zero value derives the
+	// paper's default (XOR hash, 25% sampling) from the L2 geometry, with
+	// 8-bit counters to keep saturation out of the baseline experiments
+	// (the paper requires counters "wide enough to prevent saturation";
+	// 3-bit counters are exercised by the ablation benchmarks).
+	Signature bloom.Config
+	// QuantumCycles is the scheduler time slice. 0 selects the default
+	// (250k cycles, a scaled-down Linux slice).
+	QuantumCycles uint64
+	// Batch is the number of instructions dispatched per scheduling step; a
+	// smaller batch interleaves cores more finely. 0 selects 256.
+	Batch int
+	// Timing model, in cycles. Zero values select 3 / 14 / 100 / 20 — a
+	// Core-2-class hit/miss cost ratio with a next-line prefetcher that
+	// hides most of the DRAM latency of sequential misses.
+	L1Cost, L2Cost, MemCost, PrefetchCost uint64
+	// SwitchCost is charged to a core's clock at every context switch.
+	// Native OS switches are effectively free at this model's resolution;
+	// the virtualization layer sets it to model VM world-switch cost.
+	SwitchCost uint64
+	// AccessHook, if set, observes every memory access after it resolves
+	// (instrumentation for footprint ground truth; nil in normal runs).
+	AccessHook func(core int, lineAddr uint64, level cache.Level)
+	// Background models periodic service activity — hypervisor/Dom0 work or
+	// OS housekeeping. Every Period cycles each busy core executes Ops
+	// instructions from its own background generator: the work consumes
+	// wall-clock time and pollutes the caches but is charged to no thread's
+	// user time, like interrupt/dom0 time on a real system. Idle cores (no
+	// runnable threads) skip their background work — their clocks are
+	// parked, and service load tracks guest activity as on a real
+	// hypervisor.
+	Background BackgroundConfig
+}
+
+// BackgroundConfig describes per-core service activity (see Config).
+type BackgroundConfig struct {
+	Period uint64
+	Ops    uint64
+	// MakeGen builds the per-core background instruction generator; called
+	// once per core at machine construction.
+	MakeGen func(core int) *workload.Generator
+}
+
+func (b BackgroundConfig) enabled() bool {
+	return b.Period > 0 && b.Ops > 0 && b.MakeGen != nil
+}
+
+func (c Config) withDefaults() Config {
+	if c.QuantumCycles == 0 {
+		// Sized so a full L2 refill (lines × miss cost) stays an order of
+		// magnitude below the slice, as on real machines, at the default
+		// experiment scale (1/16 machine): the paper's same-core warm-up
+		// penalty (§2.3.1) then stays under ~10%.
+		c.QuantumCycles = 4_000_000
+	}
+	if c.Batch == 0 {
+		c.Batch = 256
+	}
+	if c.L1Cost == 0 {
+		c.L1Cost = 3
+	}
+	if c.L2Cost == 0 {
+		c.L2Cost = 14
+	}
+	if c.MemCost == 0 {
+		c.MemCost = 100
+	}
+	if c.PrefetchCost == 0 {
+		c.PrefetchCost = 20
+	}
+	if c.Signature.Cores == 0 {
+		g := bloom.Geometry{Sets: c.Hierarchy.L2.Sets(), Ways: c.Hierarchy.L2.Ways}
+		c.Signature = bloom.DefaultConfig(g, c.Hierarchy.Cores)
+		c.Signature.CounterBits = 8
+	}
+	return c
+}
+
+// DefaultConfig returns the paper's evaluation machine: the Core 2 Duo
+// hierarchy with the default signature unit and timing model.
+func DefaultConfig() Config {
+	return Config{Hierarchy: cache.CoreDuoConfig()}
+}
+
+// coreState is the per-core scheduler and timing state.
+type coreState struct {
+	time         uint64 // local cycle clock
+	queue        []*kernel.Thread
+	cur          int // index of the running thread in queue
+	quantumLeft  int64
+	lastMissLine uint64
+	switches     uint64
+	bgGen        *workload.Generator
+	nextBg       uint64
+}
+
+// Machine is one simulated multicore system executing a process set.
+type Machine struct {
+	cfg     Config
+	hier    *cache.Hierarchy
+	units   []*bloom.Unit // one per distinct L2 (one element when shared)
+	procs   []*kernel.Process
+	threads []*kernel.Thread
+	cores   []coreState
+	now     uint64 // time of the most recently dispatched core
+}
+
+// New builds a machine running the given processes. Initial affinities are
+// taken from each thread's Affinity field (default 0); call SetAffinities or
+// DistributeRoundRobin before Run to choose a mapping.
+func New(cfg Config, procs []*kernel.Process) *Machine {
+	cfg = cfg.withDefaults()
+	m := &Machine{
+		cfg:     cfg,
+		hier:    cache.NewHierarchy(cfg.Hierarchy),
+		procs:   procs,
+		threads: kernel.Threads(procs),
+		cores:   make([]coreState, cfg.Hierarchy.Cores),
+	}
+	// One signature unit per distinct L2: a private-L2 machine gets one
+	// unit per core (its cross-core filters simply stay empty — no shared
+	// cache, no interference), a shared-L2 machine gets the paper's single
+	// unit.
+	for _, l2 := range m.hier.L2s() {
+		u := bloom.NewUnit(cfg.Signature)
+		m.units = append(m.units, u)
+		l2.SetListener(unitListener{unit: u})
+	}
+	if cfg.Background.enabled() {
+		for c := range m.cores {
+			m.cores[c].bgGen = cfg.Background.MakeGen(c)
+			m.cores[c].nextBg = cfg.Background.Period
+		}
+	}
+	m.rebuildQueues()
+	return m
+}
+
+// unitListener forwards one L2's events to its signature unit.
+type unitListener struct{ unit *bloom.Unit }
+
+func (l unitListener) OnFill(core int, lineAddr uint64, set, way int) {
+	l.unit.OnFill(core, lineAddr, set, way)
+}
+
+func (l unitListener) OnEvict(lineAddr uint64, set, way int) {
+	l.unit.OnEvict(lineAddr, set, way)
+}
+
+// Unit exposes the signature unit of the first (shared) L2 — the common
+// case; use UnitFor with private-L2 hierarchies.
+func (m *Machine) Unit() *bloom.Unit { return m.units[0] }
+
+// UnitFor returns the signature unit shadowing the L2 that serves core.
+func (m *Machine) UnitFor(core int) *bloom.Unit {
+	return m.units[m.hier.L2Index(core)]
+}
+
+// Hierarchy exposes the cache hierarchy for stats collection.
+func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
+
+// Processes returns the process set.
+func (m *Machine) Processes() []*kernel.Process { return m.procs }
+
+// Now returns the current simulated time in cycles.
+func (m *Machine) Now() uint64 { return m.now }
+
+// Cores returns the number of cores in the machine.
+func (m *Machine) Cores() int { return len(m.cores) }
+
+// ContextSwitches returns the total number of context switches performed.
+func (m *Machine) ContextSwitches() uint64 {
+	var n uint64
+	for i := range m.cores {
+		n += m.cores[i].switches
+	}
+	return n
+}
+
+// SetAffinities pins thread i to core aff[i] and rebuilds the run queues.
+// A running thread whose affinity changes is context-switched out first so
+// its signature stays coherent.
+func (m *Machine) SetAffinities(aff []int) {
+	if len(aff) != len(m.threads) {
+		panic(fmt.Sprintf("engine: %d affinities for %d threads", len(aff), len(m.threads)))
+	}
+	changed := false
+	for i, t := range m.threads {
+		if aff[i] < 0 || aff[i] >= len(m.cores) {
+			panic(fmt.Sprintf("engine: affinity %d out of range", aff[i]))
+		}
+		if t.Affinity != aff[i] {
+			t.Affinity = aff[i]
+			changed = true
+		}
+	}
+	if changed {
+		m.rebuildQueues()
+	}
+}
+
+// Affinities returns the current thread→core pinning.
+func (m *Machine) Affinities() []int {
+	out := make([]int, len(m.threads))
+	for i, t := range m.threads {
+		out[i] = t.Affinity
+	}
+	return out
+}
+
+// DistributeRoundRobin assigns thread i to core i mod N — the default
+// schedule a contention-oblivious OS would produce.
+func (m *Machine) DistributeRoundRobin() {
+	aff := make([]int, len(m.threads))
+	for i := range aff {
+		aff[i] = i % len(m.cores)
+	}
+	m.SetAffinities(aff)
+}
+
+// rebuildQueues redistributes threads into per-core run queues, capturing a
+// signature for any core whose running thread is displaced.
+func (m *Machine) rebuildQueues() {
+	// Capture signatures for currently running threads before the reshuffle
+	// (the §3.1 protocol: every deschedule updates the context record).
+	for c := range m.cores {
+		cs := &m.cores[c]
+		if len(cs.queue) > 0 {
+			sig := m.UnitFor(c).ContextSwitch(c)
+			cs.switches++
+			// A reshuffle can interrupt a quantum early; a signature from a
+			// short partial quantum under-measures the footprint, so keep
+			// the previous full-quantum signature unless at least half the
+			// slice elapsed.
+			t := cs.queue[cs.cur]
+			elapsed := int64(m.cfg.QuantumCycles) - cs.quantumLeft
+			if t.Sig == nil || 2*elapsed >= int64(m.cfg.QuantumCycles) {
+				t.Sig = sig
+			}
+		}
+		cs.queue = cs.queue[:0]
+		cs.cur = 0
+		cs.quantumLeft = 0
+	}
+	for _, t := range m.threads {
+		cs := &m.cores[t.Affinity]
+		cs.queue = append(cs.queue, t)
+	}
+	// Give each core a fresh quantum so the first dispatch after a reshuffle
+	// does not immediately rotate past its first thread.
+	for c := range m.cores {
+		m.cores[c].quantumLeft = int64(m.cfg.QuantumCycles)
+	}
+	// Align idle clocks so a newly populated core does not replay the past.
+	var maxTime uint64
+	for c := range m.cores {
+		if m.cores[c].time > maxTime {
+			maxTime = m.cores[c].time
+		}
+	}
+	for c := range m.cores {
+		if len(m.cores[c].queue) == 0 {
+			m.cores[c].time = maxTime
+		}
+	}
+}
+
+// RunOptions controls one simulation.
+type RunOptions struct {
+	// Horizon stops the run after this many cycles; 0 means run until every
+	// thread completes at least one full run (the paper's "restart until
+	// the longest benchmark completes" protocol).
+	Horizon uint64
+	// MonitorPeriod invokes OnMonitor every this many cycles (0 disables):
+	// the paper's 100 ms allocator period, scaled to the simulation.
+	MonitorPeriod uint64
+	// OnMonitor is the user-level policy hook; it may call SetAffinities.
+	OnMonitor func(m *Machine, now uint64)
+}
+
+// Result summarises a run.
+type Result struct {
+	Cycles       uint64 // final simulated time (max core clock)
+	Instructions uint64 // total instructions retired
+	AllDone      bool   // every thread completed ≥ 1 run
+}
+
+// Run executes the machine until the options' stopping condition.
+func (m *Machine) Run(opts RunOptions) Result {
+	var retired uint64
+	nextMonitor := opts.MonitorPeriod
+
+	for {
+		if m.allDone() && opts.Horizon == 0 {
+			break
+		}
+		c := m.pickCore()
+		if c < 0 {
+			break // nothing runnable anywhere
+		}
+		cs := &m.cores[c]
+		m.now = cs.time
+		if opts.Horizon > 0 && m.now >= opts.Horizon {
+			break
+		}
+		if opts.MonitorPeriod > 0 && m.now >= nextMonitor {
+			if opts.OnMonitor != nil {
+				opts.OnMonitor(m, m.now)
+			}
+			nextMonitor += opts.MonitorPeriod
+			continue // queues may have changed
+		}
+		retired += m.step(c)
+	}
+
+	var maxTime uint64
+	for i := range m.cores {
+		if m.cores[i].time > maxTime {
+			maxTime = m.cores[i].time
+		}
+	}
+	return Result{Cycles: maxTime, Instructions: retired, AllDone: m.allDone()}
+}
+
+func (m *Machine) allDone() bool {
+	for _, t := range m.threads {
+		if !t.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// pickCore returns the runnable core with the smallest local clock, or -1.
+func (m *Machine) pickCore() int {
+	best := -1
+	for c := range m.cores {
+		if len(m.cores[c].queue) == 0 {
+			continue
+		}
+		if best < 0 || m.cores[c].time < m.cores[best].time {
+			best = c
+		}
+	}
+	return best
+}
+
+// step runs one dispatch batch on core c and returns instructions retired.
+func (m *Machine) step(c int) uint64 {
+	cs := &m.cores[c]
+	if cs.bgGen != nil && cs.time >= cs.nextBg {
+		m.runBackground(c)
+	}
+	if cs.quantumLeft <= 0 {
+		m.contextSwitch(c)
+	}
+	t := cs.queue[cs.cur]
+
+	num, den := uint64(t.CostNum), uint64(t.CostDen)
+	if den == 0 {
+		num, den = 1, 1
+	}
+	var cycles uint64
+	n := m.cfg.Batch
+	for i := 0; i < n; i++ {
+		ref := t.Gen.Next()
+		cost := uint64(1)
+		if ref.Mem {
+			t.MemRefs++
+			level := m.hier.Access(c, ref.Addr)
+			switch level {
+			case cache.L1:
+				cost += m.cfg.L1Cost
+			case cache.L2:
+				t.L2Refs++
+				cost += m.cfg.L2Cost
+			default:
+				t.L2Refs++
+				t.L2Misses++
+				line := ref.Addr >> 6
+				if line == cs.lastMissLine+1 {
+					cost += m.cfg.PrefetchCost
+				} else {
+					cost += m.cfg.MemCost
+				}
+				cs.lastMissLine = line
+			}
+			if m.cfg.AccessHook != nil {
+				m.cfg.AccessHook(c, ref.Addr>>6, level)
+			}
+		}
+		cycles += cost
+		t.InstrRetired++
+		if t.InstrRetired >= t.InstrTarget {
+			if t.Runs == 0 {
+				t.CompletionUser = t.UserCycles + cycles*num/den
+			}
+			t.Runs++
+			t.InstrRetired = 0
+		}
+	}
+	// The per-instruction cost factor (virtualization overhead) is applied
+	// at batch granularity to avoid integer-truncation bias on cheap ops.
+	cycles = cycles * num / den
+	t.UserCycles += cycles
+	cs.time += cycles
+	cs.quantumLeft -= int64(cycles)
+	return uint64(n)
+}
+
+// runBackground executes one burst of service activity on core c, charging
+// wall time (and cache pollution) but no thread's user time.
+func (m *Machine) runBackground(c int) {
+	cs := &m.cores[c]
+	var cycles uint64
+	for i := uint64(0); i < m.cfg.Background.Ops; i++ {
+		ref := cs.bgGen.Next()
+		cost := uint64(1)
+		if ref.Mem {
+			switch m.hier.Access(c, ref.Addr) {
+			case cache.L1:
+				cost += m.cfg.L1Cost
+			case cache.L2:
+				cost += m.cfg.L2Cost
+			default:
+				cost += m.cfg.MemCost
+			}
+		}
+		cycles += cost
+	}
+	cs.time += cycles
+	cs.nextBg += m.cfg.Background.Period
+}
+
+// contextSwitch captures the outgoing thread's signature, stores it in its
+// context, and rotates the core's run queue.
+func (m *Machine) contextSwitch(c int) {
+	cs := &m.cores[c]
+	cs.queue[cs.cur].Sig = m.UnitFor(c).ContextSwitch(c)
+	cs.switches++
+	cs.time += m.cfg.SwitchCost
+	cs.cur = (cs.cur + 1) % len(cs.queue)
+	cs.quantumLeft = int64(m.cfg.QuantumCycles)
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"testing"
+
+	"symbiosched/internal/engine"
+	"symbiosched/internal/kernel"
+	"symbiosched/internal/workload"
+)
+
+// TestWorkloadClassContract pins the calibrated contention behaviour of the
+// synthetic pool to the paper's qualitative classes (§2.3.2, §5.1.1): when
+// co-run against the libquantum aggressor on the other core of the shared-L2
+// machine,
+//   - cache-hungry benchmarks degrade heavily (they are the paper's
+//     beneficiaries: mcf 54%, omnetpp 49% maximum improvements),
+//   - compute-bound benchmarks barely move,
+//   - streaming benchmarks barely move (miss anyway),
+//   - balanced benchmarks sit in between.
+//
+// The degradation is measured as user time paired-on-different-cores vs
+// paired-on-one-core (contention vs time-slicing), the §4.2 protocol.
+func TestWorkloadClassContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("contract sweep is slow")
+	}
+	c := Quick()
+	aggr, err := workload.ByName("libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	degradation := func(p workload.Profile) float64 {
+		run := func(aff []int) uint64 {
+			procs := kernel.Workload([]workload.Profile{p, aggr}, c.Seed, c.Scale())
+			m := engine.New(c.EngineConfig(), procs)
+			m.SetAffinities(aff)
+			m.Run(engine.RunOptions{})
+			return procs[0].CompletionUser()
+		}
+		contended := run([]int{0, 1})
+		isolated := run([]int{0, 0})
+		return float64(contended)/float64(isolated) - 1
+	}
+
+	bounds := map[workload.Class][2]float64{
+		workload.CacheHungry:  {0.30, 2.50},
+		workload.ComputeBound: {-0.02, 0.12},
+		workload.Streaming:    {-0.02, 0.40},
+		workload.Balanced:     {0.05, 1.20},
+	}
+	for _, p := range workload.SPEC2006() {
+		if p.Name == "libquantum" {
+			continue
+		}
+		d := degradation(p)
+		b := bounds[p.Class]
+		if d < b[0] || d > b[1] {
+			t.Errorf("%s (%v): degradation %+.1f%% outside class bounds [%.0f%%, %.0f%%]",
+				p.Name, p.Class, 100*d, 100*b[0], 100*b[1])
+		}
+	}
+}
+
+// TestSoloRuntimesBalanced pins the pool's solo run lengths to within a
+// factor of two of each other, the property that makes the paper's
+// "restart until the longest completes" protocol fair.
+func TestSoloRuntimesBalanced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solo sweep is slow")
+	}
+	c := Quick()
+	var mn, mx uint64 = ^uint64(0), 0
+	var mnName, mxName string
+	for _, p := range workload.SPEC2006() {
+		procs := kernel.Workload([]workload.Profile{p}, c.Seed, c.Scale())
+		m := engine.New(c.EngineConfig(), procs)
+		m.SetAffinities([]int{0})
+		m.Run(engine.RunOptions{})
+		u := procs[0].CompletionUser()
+		if u < mn {
+			mn, mnName = u, p.Name
+		}
+		if u > mx {
+			mx, mxName = u, p.Name
+		}
+	}
+	if float64(mx)/float64(mn) > 2.0 {
+		t.Fatalf("solo runtimes unbalanced: %s %d vs %s %d cycles",
+			mxName, mx, mnName, mn)
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strings"
+
+	"symbiosched/internal/alloc"
+	"symbiosched/internal/bloom"
+	"symbiosched/internal/metrics"
+	"symbiosched/internal/workload"
+)
+
+// Figure14Result compares hash functions for the signature filters (§5.3):
+// XOR, XOR-inverse-reverse, modulo, and the degenerate presence bits.
+type Figure14Result struct {
+	Variants []string
+	Mixes    []MixComparison
+}
+
+// Table renders variants × mixes.
+func (r Figure14Result) Table() metrics.Table {
+	t := metrics.Table{
+		Title:   "Figure 14: hash functions (mean improvement over worst mapping, weighted interference graph)",
+		Headers: append([]string{"mix"}, r.Variants...),
+	}
+	for _, m := range r.Mixes {
+		row := []interface{}{strings.Join(m.Mix, "+")}
+		for _, v := range r.Variants {
+			row = append(row, metrics.Pct(m.Results[v]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// withHash returns a copy of the configuration whose signature unit uses
+// the given hash function (presence bits get 1-bit counters: one bit per
+// frame is exactly the paper's presence-bit vector).
+func (c Config) withHash(kind bloom.HashKind) Config {
+	ec := c.EngineConfig()
+	g := bloom.Geometry{Sets: ec.Hierarchy.L2.Sets(), Ways: ec.Hierarchy.L2.Ways}
+	sig := bloom.DefaultConfig(g, ec.Hierarchy.Cores)
+	sig.Hash = kind
+	if kind == bloom.HashPresence {
+		sig.CounterBits = 1
+	} else {
+		sig.CounterBits = 8
+	}
+	c.Signature = &sig
+	return c
+}
+
+// Figure14 runs the representative mixes under the weighted interference
+// graph with each candidate hash function. Expected shape: the three real
+// hashes are indistinguishable; presence bits saturate and lose the
+// scheduling signal (their chosen mappings decay toward default quality).
+func Figure14(c Config) Figure14Result {
+	kinds := []bloom.HashKind{bloom.HashXOR, bloom.HashXORInvRev, bloom.HashModulo, bloom.HashPresence}
+	res := Figure14Result{}
+	for _, k := range kinds {
+		res.Variants = append(res.Variants, k.String())
+	}
+	mixes := RepresentativeMixes()
+	vals := make([][]float64, len(mixes))
+	for i := range vals {
+		vals[i] = make([]float64, len(kinds))
+	}
+	c.parallel(len(mixes)*len(kinds), func(idx int) {
+		mi, ki := idx/len(kinds), idx%len(kinds)
+		cc := c.withHash(kinds[ki])
+		var mix []workload.Profile
+		for _, n := range mixes[mi] {
+			prof, err := workload.ByName(n)
+			if err != nil {
+				panic(err)
+			}
+			mix = append(mix, prof)
+		}
+		out := cc.RunMix(mix, alloc.WeightedInterferenceGraph{}, cc.candidatesFor(mix), nil)
+		var imps []float64
+		for i := range out.Names {
+			imps = append(imps, out.ImprovementFor(i))
+		}
+		vals[mi][ki] = metrics.Mean(imps)
+	})
+	for mi, names := range mixes {
+		mc := MixComparison{Mix: names, Results: map[string]float64{}}
+		for ki, k := range kinds {
+			mc.Results[k.String()] = vals[mi][ki]
+		}
+		res.Mixes = append(res.Mixes, mc)
+	}
+	return res
+}

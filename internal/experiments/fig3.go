@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"sort"
+
+	"symbiosched/internal/engine"
+	"symbiosched/internal/kernel"
+	"symbiosched/internal/metrics"
+	"symbiosched/internal/workload"
+)
+
+// PairDegradation is one bar of Figure 3: a benchmark's worst-case relative
+// user-time degradation over all pairings.
+type PairDegradation struct {
+	Name        string
+	WorstWith   string  // co-runner producing the worst case
+	Degradation float64 // (paired − standalone)/standalone
+}
+
+// Figure3Result holds one of the two §2.3 pairwise studies.
+type Figure3Result struct {
+	Machine string
+	Rows    []PairDegradation
+	// Names and Matrix carry the full pairwise data underlying the
+	// worst-case bars: Matrix[i][j] is benchmark i's relative degradation
+	// when paired with benchmark j (NaN-free; the diagonal is zero).
+	Names  []string
+	Matrix [][]float64
+}
+
+// MatrixTable renders the full pairwise degradation matrix (the data behind
+// the Figure 3 bars; `symbiosched pairs`).
+func (r Figure3Result) MatrixTable() metrics.Table {
+	t := metrics.Table{
+		Title:   "Pairwise degradation matrix (" + r.Machine + "): row benchmark's slowdown when paired with column benchmark",
+		Headers: append([]string{"benchmark"}, r.Names...),
+	}
+	for i, name := range r.Names {
+		cells := []interface{}{name}
+		for j := range r.Names {
+			if i == j {
+				cells = append(cells, "—")
+			} else {
+				cells = append(cells, metrics.Pct(r.Matrix[i][j]))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Table renders the worst-case degradations.
+func (r Figure3Result) Table() metrics.Table {
+	t := metrics.Table{
+		Title:   "Figure 3 (" + r.Machine + "): worst-case user-time degradation when paired",
+		Headers: []string{"benchmark", "worst co-runner", "degradation"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, row.WorstWith, metrics.Pct(row.Degradation))
+	}
+	return t
+}
+
+// MaxDegradation returns the largest degradation in the study.
+func (r Figure3Result) MaxDegradation() float64 {
+	var m float64
+	for _, row := range r.Rows {
+		if row.Degradation > m {
+			m = row.Degradation
+		}
+	}
+	return m
+}
+
+// Figure3a reproduces §2.3.1: all pairs of the pool confined to a single
+// processor of the P4 Xeon SMP (private L2s). The pair time-shares one core;
+// the only interference is cache warm-up across context switches, so the
+// worst degradation stays small (paper: <10%).
+func Figure3a(c Config) Figure3Result {
+	return c.pairwise("P4 Xeon SMP, pair on one core", c.XeonConfig(), func(n int) []int {
+		aff := make([]int, n)
+		return aff // both processes on core 0
+	})
+}
+
+// Figure3b reproduces §2.3.2: all pairs on the Core 2 Duo's two cores
+// sharing the 4MB L2 — the destructive co-run case (paper: up to 67%,
+// worst pair mcf+libquantum).
+func Figure3b(c Config) Figure3Result {
+	return c.pairwise("Core 2 Duo, shared L2", c.EngineConfig(), func(n int) []int {
+		aff := make([]int, n)
+		for i := range aff {
+			aff[i] = i
+		}
+		return aff
+	})
+}
+
+func (c Config) pairwise(machine string, ecfg engine.Config, affFor func(n int) []int) Figure3Result {
+	pool := workload.SPEC2006()
+
+	// Standalone baselines: each benchmark alone on core 0.
+	standalone := make([]uint64, len(pool))
+	c.parallel(len(pool), func(i int) {
+		procs := kernel.Workload(pool[i:i+1], c.Seed, c.Scale())
+		m := engine.New(ecfg, procs)
+		m.SetAffinities([]int{0})
+		m.Run(engine.RunOptions{})
+		standalone[i] = procs[0].CompletionUser()
+	})
+
+	// All ordered pairs (i, j), i != j: benchmark i's time when paired
+	// with j. The pair runs until both complete once (with restarts).
+	type pairKey struct{ i, j int }
+	combos := Combinations(len(pool), 2)
+	paired := make(map[pairKey]uint64, len(combos)*2)
+	results := make([][2]uint64, len(combos))
+	c.parallel(len(combos), func(k int) {
+		i, j := combos[k][0], combos[k][1]
+		procs := kernel.Workload([]workload.Profile{pool[i], pool[j]}, c.Seed, c.Scale())
+		m := engine.New(ecfg, procs)
+		m.SetAffinities(affFor(2))
+		m.Run(engine.RunOptions{})
+		results[k] = [2]uint64{procs[0].CompletionUser(), procs[1].CompletionUser()}
+	})
+	for k, combo := range combos {
+		i, j := combo[0], combo[1]
+		paired[pairKey{i, j}] = results[k][0]
+		paired[pairKey{j, i}] = results[k][1]
+	}
+
+	res := Figure3Result{Machine: machine}
+	res.Matrix = make([][]float64, len(pool))
+	for i, p := range pool {
+		res.Names = append(res.Names, p.Name)
+		res.Matrix[i] = make([]float64, len(pool))
+		worst := PairDegradation{Name: p.Name}
+		for j, q := range pool {
+			if i == j {
+				continue
+			}
+			d := float64(paired[pairKey{i, j}])/float64(standalone[i]) - 1
+			res.Matrix[i][j] = d
+			if d > worst.Degradation {
+				worst.Degradation = d
+				worst.WorstWith = q.Name
+			}
+		}
+		res.Rows = append(res.Rows, worst)
+	}
+	sort.Slice(res.Rows, func(a, b int) bool { return res.Rows[a].Name < res.Rows[b].Name })
+	return res
+}

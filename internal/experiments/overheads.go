@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"symbiosched/internal/bloom"
+	"symbiosched/internal/metrics"
+)
+
+// OverheadsResult reproduces the §5.4 accounting: software state per
+// context, allocator work, and the hardware storage cost of the signature
+// unit at several sampling rates.
+type OverheadsResult struct {
+	// SoftwareWordsPerContext is the per-process bookkeeping: (2+N) 32-bit
+	// words — last core, occupancy weight, and N symbiosis values.
+	SoftwareWordsPerContext int
+	// RBVBytes is the per-context-switch communication payload.
+	RBVBytes int
+	// Hardware rows: sampling rate → storage fraction of the L2.
+	Rows []OverheadRow
+}
+
+// OverheadRow is one sampling configuration's storage cost.
+type OverheadRow struct {
+	SampleRate int
+	FilterBits int
+	Fraction   float64
+}
+
+// Table renders the hardware-cost rows.
+func (r OverheadsResult) Table() metrics.Table {
+	t := metrics.Table{
+		Title:   "§5.4 overheads: signature storage vs L2 (dual core, 3-bit counters, 64B lines, 18-bit tags)",
+		Headers: []string{"sampling", "filter KiB", "fraction of L2"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(
+			metrics.Pct(1/float64(row.SampleRate)),
+			float64(row.FilterBits)/8/1024,
+			metrics.Pct(row.Fraction),
+		)
+	}
+	return t
+}
+
+// Overheads computes the cost model for the paper's machine (4MB 16-way L2,
+// dual core, 3-bit counters) at sampling rates 1×, 2×, 4× (the paper's 25%)
+// and 8×. The software side is closed-form from §3.2/§5.4.
+func Overheads(cores int) OverheadsResult {
+	g := bloom.Geometry{Sets: 4096, Ways: 16}
+	res := OverheadsResult{
+		SoftwareWordsPerContext: 2 + cores,
+		RBVBytes:                g.Lines() / 8, // one bit per line, unsampled
+	}
+	for _, rate := range []int{1, 2, 4, 8} {
+		cfg := bloom.Config{
+			Geometry:    g,
+			Cores:       cores,
+			Hash:        bloom.HashXOR,
+			CounterBits: 3,
+			SampleRate:  rate,
+		}
+		ov := bloom.OverheadFor(cfg, 64, 18)
+		res.Rows = append(res.Rows, OverheadRow{
+			SampleRate: rate,
+			FilterBits: ov.FilterBits,
+			Fraction:   ov.Fraction,
+		})
+	}
+	return res
+}

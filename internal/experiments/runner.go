@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"symbiosched/internal/alloc"
+	"symbiosched/internal/engine"
+	"symbiosched/internal/kernel"
+	"symbiosched/internal/monitor"
+	"symbiosched/internal/workload"
+)
+
+// EnumerateMappings returns every balanced assignment of n items onto
+// `cores` groups (group sizes ⌈n/cores⌉ / ⌊n/cores⌋), deduplicated up to
+// core relabelling. For the paper's 4 processes on 2 cores this yields the
+// three mappings of Table 1 (AB|CD, AC|BD, AD|BC).
+func EnumerateMappings(n, cores int) []alloc.Mapping {
+	if n <= 0 || cores <= 0 {
+		panic(fmt.Sprintf("experiments: invalid enumeration %d items on %d cores", n, cores))
+	}
+	capacity := (n + cores - 1) / cores
+	seen := map[string]bool{}
+	var out []alloc.Mapping
+	cur := make(alloc.Mapping, n)
+	counts := make([]int, cores)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			key := cur.Key()
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, cur.Canonical())
+			}
+			return
+		}
+		for c := 0; c < cores; c++ {
+			if counts[c] == capacity {
+				continue
+			}
+			counts[c]++
+			cur[i] = c
+			rec(i + 1)
+			counts[c]--
+			// Symmetry break: item i may only open group c if all groups
+			// below c are already open.
+			if counts[c] == 0 {
+				break
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+// ExpandToThreads converts a process-level mapping into a thread-level
+// affinity vector: every thread of process p goes to procMap[p].
+func ExpandToThreads(procMap alloc.Mapping, procs []*kernel.Process) []int {
+	var aff []int
+	for i, p := range procs {
+		for range p.Threads {
+			aff = append(aff, procMap[i])
+		}
+	}
+	return aff
+}
+
+// MixResult holds the outcome of one mix under one mapping.
+type MixResult struct {
+	Mapping alloc.Mapping // thread-level, canonical
+	// UserCycles[i] is process i's user time to completion.
+	UserCycles []uint64
+	WallCycles uint64
+}
+
+// RunMapping runs the given profiles to completion under a fixed
+// thread-level mapping on a fresh machine and returns per-process user
+// times. If virt is non-nil the workloads run encapsulated in VMs.
+func (c Config) RunMapping(profiles []workload.Profile, aff []int, v *VirtSpec) MixResult {
+	var procs []*kernel.Process
+	var m *engine.Machine
+	if v != nil {
+		sys := v.newSystem(c, profiles)
+		procs = sys.Machine.Processes()
+		m = sys.Machine
+	} else {
+		procs = kernel.Workload(profiles, c.Seed, c.Scale())
+		m = engine.New(c.EngineConfig(), procs)
+	}
+	m.SetAffinities(aff)
+	res := m.Run(engine.RunOptions{})
+	out := MixResult{
+		Mapping:    alloc.Mapping(aff).Canonical(),
+		WallCycles: res.Cycles,
+	}
+	for _, p := range procs {
+		out.UserCycles = append(out.UserCycles, p.CompletionUser())
+	}
+	return out
+}
+
+// Phase1 reproduces §4.1: run the mix under the signature hardware from the
+// default round-robin placement, invoking the policy every MonitorPeriod and
+// applying its decisions, for Phase1Horizon cycles; return the majority
+// mapping (thread-level, canonical).
+func (c Config) Phase1(profiles []workload.Profile, policy alloc.Policy, v *VirtSpec) alloc.Mapping {
+	var m *engine.Machine
+	if v != nil {
+		m = v.newSystem(c, profiles).Machine
+	} else {
+		procs := kernel.Workload(profiles, c.Seed, c.Scale())
+		m = engine.New(c.EngineConfig(), procs)
+	}
+	m.DistributeRoundRobin()
+	mo := monitor.New(policy)
+	m.Run(engine.RunOptions{
+		Horizon:       c.Phase1Horizon,
+		MonitorPeriod: c.MonitorPeriod,
+		OnMonitor:     mo.Hook(),
+	})
+	maj := mo.Majority()
+	if maj == nil {
+		// Degenerate horizon: fall back to the default placement.
+		maj = alloc.RoundRobin{}.Allocate(make([]kernel.View, threadCount(profiles)), m.Cores())
+	}
+	return maj.Canonical()
+}
+
+// mustPolicy returns the paper's best algorithm (the default for studies
+// that do not compare policies).
+func mustPolicy() alloc.Policy { return alloc.WeightedInterferenceGraph{} }
+
+func threadCount(profiles []workload.Profile) int {
+	n := 0
+	for _, p := range profiles {
+		n += p.Threads
+	}
+	return n
+}
+
+// MixOutcome is the full two-phase result for one mix: the chosen mapping,
+// plus user times under every candidate mapping.
+type MixOutcome struct {
+	Names      []string
+	Chosen     alloc.Mapping
+	ChosenIdx  int // index into Candidates of the chosen mapping
+	Candidates []MixResult
+}
+
+// ImprovementFor returns the improvement of the chosen schedule over the
+// worst candidate for process i: (worst − chosen)/worst.
+func (o MixOutcome) ImprovementFor(i int) float64 {
+	worst := o.Candidates[0].UserCycles[i]
+	for _, c := range o.Candidates[1:] {
+		if c.UserCycles[i] > worst {
+			worst = c.UserCycles[i]
+		}
+	}
+	chosen := o.Candidates[o.ChosenIdx].UserCycles[i]
+	if worst == 0 {
+		return 0
+	}
+	return float64(worst-chosen) / float64(worst)
+}
+
+// OracleImprovementFor returns the improvement the best candidate (perfect
+// hindsight) achieves over the worst for process i — the ceiling against
+// which ImprovementFor can be judged.
+func (o MixOutcome) OracleImprovementFor(i int) float64 {
+	worst, best := o.Candidates[0].UserCycles[i], o.Candidates[0].UserCycles[i]
+	for _, c := range o.Candidates[1:] {
+		if c.UserCycles[i] > worst {
+			worst = c.UserCycles[i]
+		}
+		if c.UserCycles[i] < best {
+			best = c.UserCycles[i]
+		}
+	}
+	if worst == 0 {
+		return 0
+	}
+	return float64(worst-best) / float64(worst)
+}
+
+// RunMix performs the full two-phase experiment for one mix: phase 1 picks
+// a mapping by majority vote; phase 2 runs every candidate thread-level
+// mapping to completion. If the chosen mapping is not among the candidates
+// it is appended.
+func (c Config) RunMix(profiles []workload.Profile, policy alloc.Policy, candidates []alloc.Mapping, v *VirtSpec) MixOutcome {
+	chosen := c.Phase1(profiles, policy, v)
+	out := MixOutcome{Chosen: chosen, ChosenIdx: -1}
+	for _, p := range profiles {
+		out.Names = append(out.Names, p.Name)
+	}
+	cands := append([]alloc.Mapping(nil), candidates...)
+	for i, cand := range cands {
+		if cand.Key() == chosen.Key() {
+			out.ChosenIdx = i
+		}
+	}
+	if out.ChosenIdx < 0 {
+		cands = append(cands, chosen)
+		out.ChosenIdx = len(cands) - 1
+	}
+	out.Candidates = make([]MixResult, len(cands))
+	c.parallel(len(cands), func(i int) {
+		out.Candidates[i] = c.RunMapping(profiles, cands[i], v)
+	})
+	return out
+}
+
+// parallel runs fn(0..n-1) across the configured worker pool.
+func (c Config) parallel(n int, fn func(i int)) {
+	workers := c.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Combinations returns all k-subsets of {0..n-1} in lexicographic order.
+func Combinations(n, k int) [][]int {
+	if k < 0 || k > n {
+		return nil
+	}
+	var out [][]int
+	idx := make([]int, k)
+	var rec func(start, d int)
+	rec = func(start, d int) {
+		if d == k {
+			out = append(out, append([]int(nil), idx...))
+			return
+		}
+		for i := start; i <= n-(k-d); i++ {
+			idx[d] = i
+			rec(i+1, d+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"sort"
+
+	"symbiosched/internal/alloc"
+	"symbiosched/internal/metrics"
+	"symbiosched/internal/virt"
+	"symbiosched/internal/workload"
+)
+
+// VirtSpec marks a sweep as virtualized (one benchmark per VM under the
+// hypervisor cost model), reproducing the §4.2 Xen setup.
+type VirtSpec struct {
+	Overhead virt.Overhead
+}
+
+// DefaultVirt returns the default Xen-era cost model spec.
+func DefaultVirt() *VirtSpec { return &VirtSpec{Overhead: virt.DefaultOverhead()} }
+
+func (v *VirtSpec) newSystem(c Config, profiles []workload.Profile) *virt.System {
+	return virt.NewSystem(c.EngineConfig(), profiles, c.Seed, c.Scale(), v.Overhead)
+}
+
+// BenchStats accumulates the per-benchmark improvements across all mixes
+// containing the benchmark — the Fig 10/11/12 bar pairs. Oracle holds the
+// corresponding perfect-hindsight ceilings.
+type BenchStats struct {
+	Name         string
+	Improvements []float64
+	Oracle       []float64
+}
+
+// Max returns the maximum improvement (the paper's left bar).
+func (b BenchStats) Max() float64 { return metrics.Max(b.Improvements) }
+
+// Avg returns the average improvement (the paper's right bar).
+func (b BenchStats) Avg() float64 { return metrics.Mean(b.Improvements) }
+
+// OracleCapture returns the fraction of the oracle's (best-possible) mean
+// gain the policy captured, in [0,1]-ish; 0 when the oracle itself is 0.
+func (b BenchStats) OracleCapture() float64 {
+	oracle := metrics.Mean(b.Oracle)
+	if oracle <= 0 {
+		return 0
+	}
+	return b.Avg() / oracle
+}
+
+// ImprovementReport is the outcome of a full mix sweep.
+type ImprovementReport struct {
+	Policy     string
+	Virtual    bool
+	MixSize    int
+	Mixes      int
+	Benchmarks []BenchStats // sorted by name
+}
+
+// Overall returns the average improvement across every (mix, benchmark)
+// observation — the paper's headline "22% average" style number.
+func (r ImprovementReport) Overall() float64 {
+	var all []float64
+	for _, b := range r.Benchmarks {
+		all = append(all, b.Improvements...)
+	}
+	return metrics.Mean(all)
+}
+
+// MaxOverall returns the largest single improvement observed.
+func (r ImprovementReport) MaxOverall() float64 {
+	var all []float64
+	for _, b := range r.Benchmarks {
+		all = append(all, b.Improvements...)
+	}
+	return metrics.Max(all)
+}
+
+// OracleOverall returns the mean perfect-hindsight improvement across every
+// (mix, benchmark) observation: the ceiling for Overall.
+func (r ImprovementReport) OracleOverall() float64 {
+	var all []float64
+	for _, b := range r.Benchmarks {
+		all = append(all, b.Oracle...)
+	}
+	return metrics.Mean(all)
+}
+
+// Table renders the report in the paper's per-benchmark max/avg format.
+func (r ImprovementReport) Table() metrics.Table {
+	title := "Maximum and average improvement per benchmark (policy: " + r.Policy + ", native)"
+	if r.Virtual {
+		title = "Maximum and average improvement per benchmark (policy: " + r.Policy + ", Xen-style VMs)"
+	}
+	t := metrics.Table{
+		Title:   title,
+		Headers: []string{"benchmark", "max improvement", "avg improvement", "oracle avg", "mixes"},
+	}
+	for _, b := range r.Benchmarks {
+		t.AddRow(b.Name, metrics.Pct(b.Max()), metrics.Pct(b.Avg()),
+			metrics.Pct(metrics.Mean(b.Oracle)), len(b.Improvements))
+	}
+	t.AddRow("OVERALL", metrics.Pct(r.MaxOverall()), metrics.Pct(r.Overall()),
+		metrics.Pct(r.OracleOverall()), r.Mixes)
+	return t
+}
+
+// Sweep runs the two-phase experiment over every mixSize-subset of the pool
+// under the given policy and accumulates per-benchmark improvements of the
+// chosen schedule over the worst candidate schedule. This is the engine
+// behind Figures 10, 11 and 12.
+func (c Config) Sweep(pool []workload.Profile, policy alloc.Policy, mixSize int, v *VirtSpec) ImprovementReport {
+	combos := Combinations(len(pool), mixSize)
+	stats := map[string]*BenchStats{}
+	for _, p := range pool {
+		stats[p.Name] = &BenchStats{Name: p.Name}
+	}
+	outcomes := make([]MixOutcome, len(combos))
+	c.parallel(len(combos), func(i int) {
+		var mix []workload.Profile
+		for _, idx := range combos[i] {
+			mix = append(mix, pool[idx])
+		}
+		outcomes[i] = c.RunMix(mix, policy, c.candidatesFor(mix), v)
+	})
+	for _, o := range outcomes {
+		for i, name := range o.Names {
+			stats[name].Improvements = append(stats[name].Improvements, o.ImprovementFor(i))
+			stats[name].Oracle = append(stats[name].Oracle, o.OracleImprovementFor(i))
+		}
+	}
+	report := ImprovementReport{
+		Policy:  policy.Name(),
+		Virtual: v != nil,
+		MixSize: mixSize,
+		Mixes:   len(combos),
+	}
+	names := make([]string, 0, len(stats))
+	for n := range stats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if len(stats[n].Improvements) > 0 {
+			report.Benchmarks = append(report.Benchmarks, *stats[n])
+		}
+	}
+	return report
+}
+
+// CandidatesFor exposes the candidate mapping space for a mix (used by the
+// public facade).
+func CandidatesFor(c Config, mix []workload.Profile) []alloc.Mapping {
+	return c.candidatesFor(mix)
+}
+
+// candidatesFor returns the candidate mapping space for a mix: every
+// balanced process-level grouping expanded to threads (for single-threaded
+// mixes on two cores this is Table 1's three mappings), plus — for
+// multi-threaded mixes — the default round-robin thread placement, since
+// process-blocking is not obviously the right baseline for threads.
+func (c Config) candidatesFor(mix []workload.Profile) []alloc.Mapping {
+	cores := c.EngineConfig().Hierarchy.Cores
+	procMaps := EnumerateMappings(len(mix), cores)
+	var out []alloc.Mapping
+	multithreaded := false
+	var sizes []int
+	for _, p := range mix {
+		sizes = append(sizes, p.Threads)
+		if p.Threads > 1 {
+			multithreaded = true
+		}
+	}
+	for _, pm := range procMaps {
+		out = append(out, expandSizes(pm, sizes))
+	}
+	if multithreaded {
+		n := 0
+		for _, s := range sizes {
+			n += s
+		}
+		rr := make(alloc.Mapping, n)
+		for i := range rr {
+			rr[i] = i % cores
+		}
+		out = append(out, rr.Canonical())
+	}
+	return dedupMappings(out)
+}
+
+func expandSizes(procMap alloc.Mapping, sizes []int) alloc.Mapping {
+	var aff alloc.Mapping
+	for i, s := range sizes {
+		for t := 0; t < s; t++ {
+			aff = append(aff, procMap[i])
+		}
+	}
+	return aff.Canonical()
+}
+
+func dedupMappings(ms []alloc.Mapping) []alloc.Mapping {
+	seen := map[string]bool{}
+	var out []alloc.Mapping
+	for _, m := range ms {
+		if k := m.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+// Package graph provides the weighted undirected interference graphs and the
+// balanced MIN-CUT partitioning used by the paper's interference-graph
+// allocation algorithms (§3.3.2, §3.3.3).
+//
+// The paper uses an SDP solver for MIN-CUT; at the paper's problem sizes
+// (4 processes, or 16 threads) exact enumeration is cheap and strictly
+// better, so Bisect enumerates balanced bipartitions exactly up to 20 nodes
+// and falls back to a Kernighan–Lin heuristic with greedy refinement above
+// that. PartitionK applies hierarchical bisection for more than two cores,
+// exactly as §3.3.2 prescribes ("first divide into two groups using MIN-CUT
+// and then apply MIN-CUT to each group").
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Graph is a complete weighted undirected graph on n nodes, stored as a
+// dense symmetric matrix. Weights accumulate via AddWeight.
+type Graph struct {
+	n int
+	w []float64 // n×n row-major, symmetric, zero diagonal
+}
+
+// New returns an empty graph on n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative size %d", n))
+	}
+	return &Graph{n: n, w: make([]float64, n*n)}
+}
+
+// Len returns the node count.
+func (g *Graph) Len() int { return g.n }
+
+func (g *Graph) check(i int) {
+	if i < 0 || i >= g.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", i, g.n))
+	}
+}
+
+// AddWeight adds w to the undirected edge {i,j}. Self-edges are ignored
+// (a node does not interfere with itself in the paper's formulation).
+func (g *Graph) AddWeight(i, j int, w float64) {
+	g.check(i)
+	g.check(j)
+	if i == j {
+		return
+	}
+	g.w[i*g.n+j] += w
+	g.w[j*g.n+i] += w
+}
+
+// SetWeight overwrites the undirected edge {i,j}.
+func (g *Graph) SetWeight(i, j int, w float64) {
+	g.check(i)
+	g.check(j)
+	if i == j {
+		return
+	}
+	g.w[i*g.n+j] = w
+	g.w[j*g.n+i] = w
+}
+
+// Weight returns the weight of edge {i,j} (0 for self-edges).
+func (g *Graph) Weight(i, j int) float64 {
+	g.check(i)
+	g.check(j)
+	return g.w[i*g.n+j]
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	var sum float64
+	for i := 0; i < g.n; i++ {
+		for j := i + 1; j < g.n; j++ {
+			sum += g.w[i*g.n+j]
+		}
+	}
+	return sum
+}
+
+// CutWeight returns the total weight of edges crossing between group a and
+// group b (the MIN-CUT objective).
+func (g *Graph) CutWeight(a, b []int) float64 {
+	var sum float64
+	for _, i := range a {
+		for _, j := range b {
+			sum += g.Weight(i, j)
+		}
+	}
+	return sum
+}
+
+// IntraWeight returns the total weight of edges inside the group.
+func (g *Graph) IntraWeight(group []int) float64 {
+	var sum float64
+	for x := 0; x < len(group); x++ {
+		for y := x + 1; y < len(group); y++ {
+			sum += g.Weight(group[x], group[y])
+		}
+	}
+	return sum
+}
+
+// exactLimit is the largest node count for which Bisect enumerates all
+// balanced bipartitions (C(20,10)/2 ≈ 92k subsets).
+const exactLimit = 20
+
+// Bisect partitions the nodes into two groups of sizes ⌈n/2⌉ and ⌊n/2⌋
+// minimizing the cut weight (equivalently maximizing intra-group weight,
+// §3.3.2). Results are sorted; the group containing node 0 comes first, so
+// equal-cut ties resolve deterministically.
+func (g *Graph) Bisect() ([]int, []int) {
+	n := g.n
+	switch {
+	case n == 0:
+		return nil, nil
+	case n == 1:
+		return []int{0}, nil
+	}
+	if n <= exactLimit {
+		return g.bisectExact()
+	}
+	return g.bisectKL()
+}
+
+// bisectExact enumerates every balanced subset containing node 0.
+func (g *Graph) bisectExact() ([]int, []int) {
+	n := g.n
+	sizeA := (n + 1) / 2
+	bestCut := math.Inf(1)
+	var bestMask uint32
+
+	// Enumerate all masks with exactly sizeA bits set, bit 0 always set
+	// (node 0 in group A kills the mirror symmetry).
+	for mask := uint32(0); mask < 1<<uint(n); mask++ {
+		if mask&1 == 0 || bits.OnesCount32(mask) != sizeA {
+			continue
+		}
+		cut := g.cutOfMask(mask)
+		if cut < bestCut {
+			bestCut = cut
+			bestMask = mask
+		}
+	}
+	return maskGroups(bestMask, n)
+}
+
+func (g *Graph) cutOfMask(mask uint32) float64 {
+	var cut float64
+	for i := 0; i < g.n; i++ {
+		inA := mask&(1<<uint(i)) != 0
+		for j := i + 1; j < g.n; j++ {
+			if inA != (mask&(1<<uint(j)) != 0) {
+				cut += g.w[i*g.n+j]
+			}
+		}
+	}
+	return cut
+}
+
+func maskGroups(mask uint32, n int) ([]int, []int) {
+	var a, b []int
+	for i := 0; i < n; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			a = append(a, i)
+		} else {
+			b = append(b, i)
+		}
+	}
+	return a, b
+}
+
+// bisectKL runs a Kernighan–Lin style improvement from a deterministic
+// initial balanced split: repeated best-pair swaps until no swap reduces the
+// cut. Good enough for the >20-node cases (large thread counts) where exact
+// search is infeasible.
+func (g *Graph) bisectKL() ([]int, []int) {
+	n := g.n
+	side := make([]bool, n) // false = A, true = B
+	for i := (n + 1) / 2; i < n; i++ {
+		side[i] = true
+	}
+	// gain of swapping i (in A) with j (in B):
+	// old cut contribution - new cut contribution.
+	delta := func(i, j int) float64 {
+		var d float64
+		for k := 0; k < n; k++ {
+			if k == i || k == j {
+				continue
+			}
+			if side[k] != side[i] {
+				d += g.w[i*g.n+k] // edge i–k stops crossing
+			} else {
+				d -= g.w[i*g.n+k]
+			}
+			if side[k] != side[j] {
+				d += g.w[j*g.n+k]
+			} else {
+				d -= g.w[j*g.n+k]
+			}
+		}
+		return d
+	}
+	for pass := 0; pass < n*n; pass++ {
+		bestGain := 0.0
+		bi, bj := -1, -1
+		for i := 0; i < n; i++ {
+			if side[i] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if !side[j] {
+					continue
+				}
+				if gain := delta(i, j); gain > bestGain+1e-12 {
+					bestGain, bi, bj = gain, i, j
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		side[bi], side[bj] = true, false
+	}
+	var a, b []int
+	for i := 0; i < n; i++ {
+		if side[i] {
+			b = append(b, i)
+		} else {
+			a = append(a, i)
+		}
+	}
+	sort.Ints(a)
+	sort.Ints(b)
+	return a, b
+}
+
+// PartitionK partitions the nodes into k balanced groups by hierarchical
+// bisection (§3.3.2's extension to more cores). k must be a power of two.
+func (g *Graph) PartitionK(k int) [][]int {
+	if k <= 0 || k&(k-1) != 0 {
+		panic(fmt.Sprintf("graph: k=%d must be a positive power of two", k))
+	}
+	groups := [][]int{allNodes(g.n)}
+	for len(groups) < k {
+		var next [][]int
+		for _, grp := range groups {
+			a, b := g.subgraph(grp).Bisect()
+			next = append(next, remap(grp, a), remap(grp, b))
+		}
+		groups = next
+	}
+	return groups
+}
+
+func allNodes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// subgraph extracts the induced subgraph on the given nodes.
+func (g *Graph) subgraph(nodes []int) *Graph {
+	s := New(len(nodes))
+	for x := 0; x < len(nodes); x++ {
+		for y := x + 1; y < len(nodes); y++ {
+			s.SetWeight(x, y, g.Weight(nodes[x], nodes[y]))
+		}
+	}
+	return s
+}
+
+// remap converts subgraph-local indices back to original node IDs.
+func remap(nodes, local []int) []int {
+	out := make([]int, len(local))
+	for i, l := range local {
+		out[i] = nodes[l]
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,374 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	g := New(4)
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	g.AddWeight(0, 1, 2.5)
+	g.AddWeight(1, 0, 0.5) // accumulates symmetrically
+	if got := g.Weight(0, 1); got != 3.0 {
+		t.Fatalf("Weight(0,1) = %g, want 3", got)
+	}
+	if got := g.Weight(1, 0); got != 3.0 {
+		t.Fatalf("Weight(1,0) = %g, want 3 (symmetric)", got)
+	}
+	g.SetWeight(2, 3, 7)
+	if got := g.Weight(3, 2); got != 7 {
+		t.Fatalf("SetWeight not symmetric: %g", got)
+	}
+	if got := g.TotalWeight(); got != 10 {
+		t.Fatalf("TotalWeight = %g, want 10", got)
+	}
+}
+
+func TestSelfEdgesIgnored(t *testing.T) {
+	g := New(3)
+	g.AddWeight(1, 1, 5)
+	g.SetWeight(2, 2, 5)
+	if g.TotalWeight() != 0 {
+		t.Fatal("self edges contributed weight")
+	}
+	if g.Weight(1, 1) != 0 {
+		t.Fatal("self edge has weight")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	g := New(2)
+	for _, f := range []func(){
+		func() { g.AddWeight(0, 2, 1) },
+		func() { g.Weight(-1, 0) },
+		func() { New(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCutAndIntraWeights(t *testing.T) {
+	g := New(4)
+	g.SetWeight(0, 1, 1)
+	g.SetWeight(2, 3, 2)
+	g.SetWeight(0, 2, 4)
+	g.SetWeight(1, 3, 8)
+	a, b := []int{0, 1}, []int{2, 3}
+	if got := g.CutWeight(a, b); got != 12 {
+		t.Fatalf("CutWeight = %g, want 12", got)
+	}
+	if got := g.IntraWeight(a); got != 1 {
+		t.Fatalf("IntraWeight(a) = %g, want 1", got)
+	}
+	if got := g.IntraWeight(b); got != 2 {
+		t.Fatalf("IntraWeight(b) = %g, want 2", got)
+	}
+}
+
+// The paper's Figure 7 scenario: four processes, the pair with the heaviest
+// mutual interference must land in the same group so they never co-run.
+func TestBisectGroupsHeavyInterferersTogether(t *testing.T) {
+	g := New(4)
+	// P0 and P1 interfere heavily; P2 and P3 interfere heavily; cross edges
+	// are light. MIN-CUT must cut the light edges.
+	g.SetWeight(0, 1, 10)
+	g.SetWeight(2, 3, 9)
+	g.SetWeight(0, 2, 1)
+	g.SetWeight(1, 3, 1)
+	a, b := g.Bisect()
+	if !sameSet(a, []int{0, 1}) || !sameSet(b, []int{2, 3}) {
+		t.Fatalf("Bisect = %v | %v, want {0,1} | {2,3}", a, b)
+	}
+	if cut := g.CutWeight(a, b); cut != 2 {
+		t.Fatalf("cut = %g, want 2", cut)
+	}
+}
+
+func TestBisectTinyGraphs(t *testing.T) {
+	a, b := New(0).Bisect()
+	if len(a) != 0 || len(b) != 0 {
+		t.Fatal("empty graph bisected wrong")
+	}
+	a, b = New(1).Bisect()
+	if len(a) != 1 || len(b) != 0 {
+		t.Fatal("single node bisected wrong")
+	}
+	a, b = New(2).Bisect()
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("two nodes: %v | %v", a, b)
+	}
+	// Odd count: balanced as 2|1.
+	a, b = New(3).Bisect()
+	if len(a) != 2 || len(b) != 1 {
+		t.Fatalf("three nodes: %v | %v", a, b)
+	}
+}
+
+func TestBisectBalanced(t *testing.T) {
+	for n := 2; n <= 12; n++ {
+		g := randomGraph(n, 42)
+		a, b := g.Bisect()
+		if len(a)+len(b) != n {
+			t.Fatalf("n=%d: groups cover %d nodes", n, len(a)+len(b))
+		}
+		if len(a)-len(b) > 1 || len(b) > len(a) {
+			t.Fatalf("n=%d: unbalanced %d|%d", n, len(a), len(b))
+		}
+		seen := map[int]bool{}
+		for _, x := range append(append([]int{}, a...), b...) {
+			if seen[x] {
+				t.Fatalf("node %d in both groups", x)
+			}
+			seen[x] = true
+		}
+	}
+}
+
+// The exact bisector must never be beaten by any other balanced bipartition.
+func TestBisectExactOptimal(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(8, int64(trial))
+		a, b := g.Bisect()
+		best := g.CutWeight(a, b)
+		// brute force all balanced splits
+		for mask := uint32(0); mask < 1<<8; mask++ {
+			if popcount(mask) != 4 {
+				continue
+			}
+			ga, gb := maskGroups(mask, 8)
+			if cut := g.CutWeight(ga, gb); cut < best-1e-9 {
+				t.Fatalf("trial %d: found cut %g < reported optimum %g", trial, cut, best)
+			}
+		}
+	}
+}
+
+func TestBisectKLLargeGraph(t *testing.T) {
+	// 24 nodes: exceeds the exact limit, exercises the KL path. Construct a
+	// planted partition: strong edges inside two 12-node halves, weak across.
+	g := New(24)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 24; i++ {
+		for j := i + 1; j < 24; j++ {
+			w := rng.Float64() * 0.1
+			if (i < 12) == (j < 12) {
+				w += 5
+			}
+			g.SetWeight(i, j, w)
+		}
+	}
+	a, b := g.Bisect()
+	if len(a) != 12 || len(b) != 12 {
+		t.Fatalf("unbalanced: %d|%d", len(a), len(b))
+	}
+	// KL must recover the planted structure: every node of a on one side.
+	side := a[0] < 12
+	for _, x := range a {
+		if (x < 12) != side {
+			t.Fatalf("KL failed to recover planted partition: %v | %v", a, b)
+		}
+	}
+}
+
+func TestPartitionKValidation(t *testing.T) {
+	g := randomGraph(8, 1)
+	for _, k := range []int{0, 3, -2, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PartitionK(%d) did not panic", k)
+				}
+			}()
+			g.PartitionK(k)
+		}()
+	}
+}
+
+func TestPartitionKHierarchical(t *testing.T) {
+	// 8 nodes in 4 strongly-bound pairs; 4-way partition must isolate pairs.
+	g := New(8)
+	for p := 0; p < 4; p++ {
+		g.SetWeight(2*p, 2*p+1, 100)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			if g.Weight(i, j) == 0 {
+				g.SetWeight(i, j, rng.Float64())
+			}
+		}
+	}
+	groups := g.PartitionK(4)
+	if len(groups) != 4 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	for _, grp := range groups {
+		if len(grp) != 2 {
+			t.Fatalf("group %v not size 2", grp)
+		}
+		if grp[1] != grp[0]+1 || grp[0]%2 != 0 {
+			t.Fatalf("group %v broke a bound pair", grp)
+		}
+	}
+}
+
+func TestPartitionK1And2(t *testing.T) {
+	g := randomGraph(6, 3)
+	one := g.PartitionK(1)
+	if len(one) != 1 || len(one[0]) != 6 {
+		t.Fatalf("PartitionK(1) = %v", one)
+	}
+	two := g.PartitionK(2)
+	a, b := g.Bisect()
+	if !sameSet(two[0], a) || !sameSet(two[1], b) {
+		t.Fatalf("PartitionK(2) = %v, Bisect = %v|%v", two, a, b)
+	}
+}
+
+// Property: cut(a,b) + intra(a) + intra(b) = total weight.
+func TestWeightConservationQuick(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := int(n8%10) + 2
+		g := randomGraph(n, seed)
+		a, b := g.Bisect()
+		lhs := g.CutWeight(a, b) + g.IntraWeight(a) + g.IntraWeight(b)
+		return math.Abs(lhs-g.TotalWeight()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hierarchical groups partition the node set exactly.
+func TestPartitionCoverageQuick(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := int(n8%12) + 4
+		g := randomGraph(n, seed)
+		groups := g.PartitionK(4)
+		seen := map[int]int{}
+		for _, grp := range groups {
+			for _, x := range grp {
+				seen[x]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomGraph(n int, seed int64) *Graph {
+	g := New(n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.SetWeight(i, j, rng.Float64()*10)
+		}
+	}
+	return g
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[int]bool{}
+	for _, x := range a {
+		m[x] = true
+	}
+	for _, x := range b {
+		if !m[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func popcount(x uint32) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+func BenchmarkBisectExact16(b *testing.B) {
+	g := randomGraph(16, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Bisect()
+	}
+}
+
+func BenchmarkBisectKL32(b *testing.B) {
+	g := randomGraph(32, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Bisect()
+	}
+}
+
+// KL must come close to the exact optimum on mid-size graphs: compare on
+// 18-node random graphs (still within the exact enumerator's range) by
+// invoking the heuristic directly.
+func TestKLQualityVsExact(t *testing.T) {
+	worstRatio := 1.0
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(18, int64(100+trial))
+		ea, eb := g.bisectExact()
+		exact := g.CutWeight(ea, eb)
+		ka, kb := g.bisectKL()
+		kl := g.CutWeight(ka, kb)
+		if kl < exact-1e-9 {
+			t.Fatalf("trial %d: KL cut %.3f beat the exact optimum %.3f", trial, kl, exact)
+		}
+		if len(ka) != 9 || len(kb) != 9 {
+			t.Fatalf("trial %d: KL unbalanced %d|%d", trial, len(ka), len(kb))
+		}
+		if ratio := kl / exact; ratio > worstRatio {
+			worstRatio = ratio
+		}
+	}
+	// Random dense graphs are easy for KL; it should land within 25% of
+	// optimal on every trial.
+	if worstRatio > 1.25 {
+		t.Fatalf("KL worst-case ratio %.3f too far from optimal", worstRatio)
+	}
+}
+
+func TestSubgraphExtraction(t *testing.T) {
+	g := New(5)
+	g.SetWeight(1, 3, 7)
+	g.SetWeight(3, 4, 2)
+	sub := g.subgraph([]int{1, 3, 4})
+	if sub.Len() != 3 {
+		t.Fatalf("subgraph size %d", sub.Len())
+	}
+	if sub.Weight(0, 1) != 7 { // local indices of nodes 1,3
+		t.Fatalf("subgraph weight(1,3) = %g", sub.Weight(0, 1))
+	}
+	if sub.Weight(1, 2) != 2 {
+		t.Fatalf("subgraph weight(3,4) = %g", sub.Weight(1, 2))
+	}
+}

@@ -1,0 +1,221 @@
+// Package kernel models the operating-system side of the paper's system:
+// processes and threads with per-core run queues, affinity masks set by a
+// user-level monitor, and the per-context signature record (§3.2) that the
+// hardware unit fills in at every context switch.
+//
+// The same types model VMs under the hypervisor: the paper's VM experiments
+// encapsulate one benchmark per VM, so a VM's vcpu behaves exactly like a
+// process whose signatures are collected at VM switch time (§3.1, §4.2).
+package kernel
+
+import (
+	"fmt"
+
+	"symbiosched/internal/bloom"
+	"symbiosched/internal/workload"
+)
+
+// Thread is one schedulable context: a single-threaded process body, one
+// thread of a multi-threaded process, or a VM's vcpu.
+type Thread struct {
+	ID   int // global thread index
+	Proc *Process
+	Gen  workload.RefSource
+
+	// Affinity is the core this thread is pinned to. The paper's monitor
+	// only ever pins (sets affinity bits); the in-core time-slicing is left
+	// to the ordinary scheduler.
+	Affinity int
+
+	// InstrTarget is the dynamic instruction count of one complete run.
+	InstrTarget uint64
+	// InstrRetired counts instructions of the current (possibly restarted)
+	// run.
+	InstrRetired uint64
+	// Runs counts completed runs; the paper restarts finished benchmarks
+	// until the longest one in the mix completes.
+	Runs int
+
+	// UserCycles accumulates cycles consumed while scheduled on a core.
+	UserCycles uint64
+	// CompletionUser is UserCycles at the moment the first run completed
+	// (0 while unfinished).
+	CompletionUser uint64
+
+	// CostNum/CostDen scale every instruction's cycle cost by a rational
+	// factor (both 0 means 1/1). The virtualization layer uses this to model
+	// the hypervisor's per-instruction overhead (§5.1.2: VM gains are lower
+	// partly because of virtualization overhead).
+	CostNum, CostDen uint32
+
+	// MemRefs, L2Refs and L2Misses are event-counter statistics of the kind
+	// a performance-counter-based scheduler would use (§2.2 argues these
+	// are poor footprint proxies; the miss-rate baseline policy consumes
+	// them so the claim can be tested).
+	MemRefs  uint64
+	L2Refs   uint64
+	L2Misses uint64
+
+	// Sig is the most recent hardware signature captured when this thread
+	// was context-switched out (§3.2's (2+N)-entry record plus the RBV).
+	Sig *bloom.Signature
+}
+
+// L2MissRate returns L2Misses/L2Refs, or 0 before any L2 access.
+func (t *Thread) L2MissRate() float64 {
+	if t.L2Refs == 0 {
+		return 0
+	}
+	return float64(t.L2Misses) / float64(t.L2Refs)
+}
+
+// Done reports whether the first run has completed.
+func (t *Thread) Done() bool { return t.Runs > 0 }
+
+// Process groups the threads of one program instance (or the single vcpu of
+// a VM).
+type Process struct {
+	ID      int
+	Name    string
+	Profile workload.Profile
+	Threads []*Thread
+}
+
+// Done reports whether every thread has completed its first run.
+func (p *Process) Done() bool {
+	for _, t := range p.Threads {
+		if !t.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// UserCycles returns the total user time (in cycles) consumed by the
+// process's threads so far.
+func (p *Process) UserCycles() uint64 {
+	var sum uint64
+	for _, t := range p.Threads {
+		sum += t.UserCycles
+	}
+	return sum
+}
+
+// CompletionUser returns the process's user time to completion: the sum of
+// the per-thread user cycles frozen at each thread's first completion.
+// It returns 0 if the process has not completed.
+func (p *Process) CompletionUser() uint64 {
+	if !p.Done() {
+		return 0
+	}
+	var sum uint64
+	for _, t := range p.Threads {
+		sum += t.CompletionUser
+	}
+	return sum
+}
+
+// Workload instantiates a set of processes from profiles, assigning
+// address-space IDs, deterministic per-process seeds derived from seed, and
+// the scale (region divisor for working sets, instruction divisor for run
+// lengths).
+func Workload(profiles []workload.Profile, seed uint64, sc workload.Scale) []*Process {
+	if err := sc.Validate(); err != nil {
+		panic(err)
+	}
+	root := workload.NewRand(seed)
+	procs := make([]*Process, len(profiles))
+	tid := 0
+	for i, prof := range profiles {
+		p := &Process{ID: i, Name: prof.Name, Profile: prof}
+		gens := prof.NewThreads(i+1, root.Uint64(), sc.Region)
+		perThread := prof.ScaledInstructions(sc.Instr) / uint64(len(gens))
+		if perThread == 0 {
+			perThread = 1
+		}
+		for _, g := range gens {
+			t := &Thread{
+				ID:          tid,
+				Proc:        p,
+				Gen:         g,
+				InstrTarget: perThread,
+			}
+			tid++
+			p.Threads = append(p.Threads, t)
+		}
+		procs[i] = p
+	}
+	return procs
+}
+
+// SourceProcess wraps an arbitrary instruction source (a trace replay, a
+// custom model) as a single-threaded process with the given run length. The
+// returned process's thread ID is id; callers composing mixed process sets
+// must keep IDs dense in creation order.
+func SourceProcess(id int, name string, src workload.RefSource, instrTarget uint64) *Process {
+	if instrTarget == 0 {
+		panic("kernel: zero instruction target")
+	}
+	p := &Process{ID: id, Name: name, Profile: workload.Profile{Name: name, Threads: 1}}
+	p.Threads = []*Thread{{ID: id, Proc: p, Gen: src, InstrTarget: instrTarget}}
+	return p
+}
+
+// Threads flattens the thread lists of a process set in global ID order.
+func Threads(procs []*Process) []*Thread {
+	var out []*Thread
+	for _, p := range procs {
+		out = append(out, p.Threads...)
+	}
+	for i, t := range out {
+		if t.ID != i {
+			panic(fmt.Sprintf("kernel: thread IDs not dense: %d at %d", t.ID, i))
+		}
+	}
+	return out
+}
+
+// View is the read-only snapshot of one thread the monitor receives through
+// the §3.2 syscall interface. Occupancy and Symbiosis come from the last
+// captured hardware signature; threads that have not yet been profiled
+// report HasSig false.
+type View struct {
+	ThreadID   int
+	ProcID     int
+	Name       string
+	Threads    int // thread count of the owning process
+	LastCore   int
+	Occupancy  int
+	Symbiosis  []int
+	Overlap    []int
+	HasSig     bool
+	L2MissRate float64 // performance-counter proxy, for baseline policies
+	L2Misses   uint64
+}
+
+// Snapshot builds monitor views for all threads.
+func Snapshot(procs []*Process) []View {
+	var out []View
+	for _, p := range procs {
+		for _, t := range p.Threads {
+			v := View{
+				ThreadID:   t.ID,
+				ProcID:     p.ID,
+				Name:       p.Name,
+				Threads:    len(p.Threads),
+				LastCore:   t.Affinity,
+				L2MissRate: t.L2MissRate(),
+				L2Misses:   t.L2Misses,
+			}
+			if t.Sig != nil {
+				v.HasSig = true
+				v.LastCore = t.Sig.LastCore
+				v.Occupancy = t.Sig.Occupancy
+				v.Symbiosis = append([]int(nil), t.Sig.Symbiosis...)
+				v.Overlap = append([]int(nil), t.Sig.Overlap...)
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}

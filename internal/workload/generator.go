@@ -1,0 +1,80 @@
+package workload
+
+// Ref is one dynamic instruction emitted by a Generator: either a compute
+// operation (Mem false) or a memory access at Addr.
+type Ref struct {
+	Addr uint64
+	Mem  bool
+}
+
+// RefSource is anything that produces an instruction stream: synthetic
+// generators, trace replays, or custom models. The engine consumes threads
+// through this interface, so captured (or externally produced) traces can
+// substitute for the synthetic workloads.
+type RefSource interface {
+	Next() Ref
+}
+
+// Generator emits the instruction stream of one thread. Memory operations
+// are interleaved deterministically at the profile's memory ratio using a
+// fractional accumulator, and addresses come from the thread's private
+// pattern or (for multi-threaded processes) the process-shared pattern.
+type Generator struct {
+	pattern    Pattern
+	shared     Pattern // nil for single-threaded processes
+	sharedFrac float64
+	memRatio   float64
+	base       uint64 // private-region base address (address-space separation)
+	sharedBase uint64 // shared-region base address
+	acc        float64
+	rng        *Rand
+}
+
+// GeneratorConfig assembles a Generator.
+type GeneratorConfig struct {
+	Pattern    Pattern
+	Shared     Pattern // optional process-shared pattern
+	SharedFrac float64 // fraction of memory ops that go to the shared region
+	MemRatio   float64 // memory operations per instruction, in (0, 1]
+	Base       uint64
+	SharedBase uint64
+	Seed       uint64
+}
+
+// NewGenerator builds a thread instruction generator.
+func NewGenerator(cfg GeneratorConfig) *Generator {
+	if cfg.Pattern == nil {
+		panic("workload: generator needs a pattern")
+	}
+	if cfg.MemRatio <= 0 || cfg.MemRatio > 1 {
+		panic("workload: memory ratio must be in (0,1]")
+	}
+	return &Generator{
+		pattern:    cfg.Pattern,
+		shared:     cfg.Shared,
+		sharedFrac: cfg.SharedFrac,
+		memRatio:   cfg.MemRatio,
+		base:       cfg.Base,
+		sharedBase: cfg.SharedBase,
+		rng:        NewRand(cfg.Seed),
+	}
+}
+
+// Next returns the next instruction.
+func (g *Generator) Next() Ref {
+	g.acc += g.memRatio
+	if g.acc < 1 {
+		return Ref{}
+	}
+	g.acc--
+	if g.shared != nil && g.rng.Float64() < g.sharedFrac {
+		return Ref{Addr: g.sharedBase + g.shared.Next(g.rng), Mem: true}
+	}
+	return Ref{Addr: g.base + g.pattern.Next(g.rng), Mem: true}
+}
+
+// MemRatio returns the configured memory-operation ratio.
+func (g *Generator) MemRatio() float64 { return g.memRatio }
+
+// Footprint returns the private pattern's footprint in bytes.
+func (g *Generator) Footprint() uint64 { return g.pattern.Footprint() }

@@ -1,0 +1,45 @@
+// Package workload provides deterministic synthetic memory-reference
+// generators standing in for the SPEC CPU2006 and PARSEC programs of the
+// paper's evaluation (§2.3, §4). Each benchmark profile is a parameterised
+// address-pattern model (working-set size, access pattern, memory intensity)
+// calibrated to the qualitative class the paper assigns the real program:
+// cache-hungry (mcf, omnetpp), streaming/bandwidth-bound (libquantum,
+// hmmer, milc), or compute-bound (povray, gobmk, sjeng, …).
+package workload
+
+// Rand is a splitmix64 pseudo-random generator: tiny, fast, and fully
+// deterministic from its seed, so every simulation is reproducible
+// bit-for-bit. (math/rand would work too; splitmix64 keeps the generator
+// allocation-free and trivially copyable.)
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Fork derives an independent generator from this one, for seeding
+// per-thread streams from a per-process seed.
+func (r *Rand) Fork() *Rand { return NewRand(r.Uint64()) }

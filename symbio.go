@@ -1,0 +1,290 @@
+// Package symbio is the public API of the symbiosched library: a
+// reproduction of "Symbiotic Scheduling for Shared Caches in Multi-Core
+// Systems Using Memory Footprint Signature" (Ghosh, Nathuji, Lee, Schwan,
+// Lee — ICPP 2011).
+//
+// The library bundles three things:
+//
+//  1. The paper's hardware contribution — counting-Bloom-filter cache
+//     signatures (Core Filters, Last Filters, Running Bit Vectors,
+//     occupancy weight and symbiosis metrics) — usable stand-alone through
+//     the Signature* aliases for embedding into other cache simulators.
+//  2. The paper's software contribution — the weight-sorting,
+//     interference-graph and weighted-interference-graph allocation
+//     policies plus the two-phase multi-threaded adaptation — behind the
+//     Policy type.
+//  3. A full simulation substrate (shared-L2 multicore, synthetic
+//     SPEC2006/PARSEC-like workloads, OS scheduler model, Xen-style
+//     virtualization layer) that replaces the paper's Simics/Core-2-Duo/Xen
+//     testbed, with drivers regenerating every table and figure of the
+//     evaluation.
+//
+// Quick start:
+//
+//	ev, err := symbio.Evaluate([]string{"mcf", "libquantum", "povray", "gobmk"}, nil)
+//	// ev.Chosen is the schedule the signature hardware recommends;
+//	// ev.Improvements reports each benchmark's gain over the worst mapping.
+package symbio
+
+import (
+	"fmt"
+	"sort"
+
+	"symbiosched/internal/alloc"
+	"symbiosched/internal/bloom"
+	"symbiosched/internal/experiments"
+	"symbiosched/internal/workload"
+)
+
+// Signature hardware re-exports: the paper's architectural contribution,
+// usable without the bundled simulator (attach a Unit to any cache model by
+// calling OnFill/OnEvict/ContextSwitch).
+type (
+	// SignatureUnit is the split counting Bloom filter of §3.1.
+	SignatureUnit = bloom.Unit
+	// SignatureConfig parameterises a SignatureUnit.
+	SignatureConfig = bloom.Config
+	// CacheGeometry describes the cache a unit shadows.
+	CacheGeometry = bloom.Geometry
+	// Signature is the per-context record captured at every context switch.
+	Signature = bloom.Signature
+	// HashKind selects the filter hash function (Fig 14).
+	HashKind = bloom.HashKind
+)
+
+// Hash function constants (Fig 14).
+const (
+	HashXOR       = bloom.HashXOR
+	HashXORInvRev = bloom.HashXORInvRev
+	HashModulo    = bloom.HashModulo
+	HashPresence  = bloom.HashPresence
+)
+
+// NewSignatureUnit builds the signature hardware for a cache with the given
+// geometry serving `cores` cores, using the paper's default configuration
+// (XOR hash, 25% set sampling).
+func NewSignatureUnit(g CacheGeometry, cores int) *SignatureUnit {
+	return bloom.NewUnit(bloom.DefaultConfig(g, cores))
+}
+
+// Policy names one of the allocation algorithms.
+type Policy string
+
+// The available policies: the paper's three algorithms (§3.3), the
+// two-phase multi-threaded adaptation (§3.3.4), and two baselines.
+const (
+	WeightSort                Policy = "weight-sort"
+	InterferenceGraph         Policy = "interference-graph"
+	WeightedInterferenceGraph Policy = "weighted-interference-graph"
+	TwoPhaseMultithreaded     Policy = "two-phase-multithreaded"
+	MissRateSort              Policy = "missrate-sort"
+	RoundRobin                Policy = "round-robin"
+)
+
+// Policies returns all policy names.
+func Policies() []Policy {
+	return []Policy{WeightSort, InterferenceGraph, WeightedInterferenceGraph,
+		TwoPhaseMultithreaded, MissRateSort, RoundRobin}
+}
+
+func (p Policy) impl() (alloc.Policy, error) {
+	switch p {
+	case WeightSort:
+		return alloc.WeightSort{}, nil
+	case InterferenceGraph:
+		return alloc.InterferenceGraph{}, nil
+	case WeightedInterferenceGraph, "":
+		return alloc.WeightedInterferenceGraph{}, nil
+	case TwoPhaseMultithreaded:
+		return alloc.TwoPhase{}, nil
+	case MissRateSort:
+		return alloc.MissRateSort{}, nil
+	case RoundRobin:
+		return alloc.RoundRobin{}, nil
+	default:
+		return nil, fmt.Errorf("symbio: unknown policy %q", string(p))
+	}
+}
+
+// Benchmark describes one synthetic workload in the pools.
+type Benchmark struct {
+	Name    string
+	Class   string // compute-bound, cache-hungry, streaming, balanced
+	Threads int
+}
+
+// Benchmarks lists the available synthetic workloads (the SPEC2006-like and
+// PARSEC-like pools).
+func Benchmarks() []Benchmark {
+	var out []Benchmark
+	for _, p := range append(workload.SPEC2006(), workload.PARSEC()...) {
+		out = append(out, Benchmark{Name: p.Name, Class: p.Class.String(), Threads: p.Threads})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Options tunes an evaluation. The zero value (or nil) selects the paper's
+// configuration at 1/16 machine scale with the weighted interference graph.
+type Options struct {
+	// Policy selects the allocation algorithm (default: weighted
+	// interference graph, the paper's best).
+	Policy Policy
+	// Virtualized encapsulates each benchmark in a Xen-style VM (§5.1.2).
+	Virtualized bool
+	// Quick selects the fast test-scale configuration (1/64 machine, short
+	// runs) instead of the experiment-grade one.
+	Quick bool
+	// Seed overrides workload randomness (0 keeps the default).
+	Seed uint64
+	// Workers bounds simulation parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (o *Options) config() experiments.Config {
+	c := experiments.Default()
+	if o != nil && o.Quick {
+		c = experiments.Quick()
+	}
+	if o != nil && o.Seed != 0 {
+		c.Seed = o.Seed
+	}
+	if o != nil {
+		c.Workers = o.Workers
+	}
+	return c
+}
+
+func (o *Options) virt() *experiments.VirtSpec {
+	if o != nil && o.Virtualized {
+		return experiments.DefaultVirt()
+	}
+	return nil
+}
+
+func (o *Options) policy() (alloc.Policy, error) {
+	var p Policy
+	if o != nil {
+		p = o.Policy
+	}
+	return p.impl()
+}
+
+func lookupMix(names []string) ([]workload.Profile, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("symbio: empty benchmark mix")
+	}
+	var mix []workload.Profile
+	for _, n := range names {
+		p, err := workload.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		mix = append(mix, p)
+	}
+	return mix, nil
+}
+
+// Schedule is a recommended process-to-core assignment.
+type Schedule struct {
+	// Mapping assigns each thread (in mix order; multi-threaded processes
+	// contribute consecutive threads) to a core.
+	Mapping []int
+	// Groups lists the benchmark names sharing each core. A multi-threaded
+	// process whose threads span cores appears in several groups.
+	Groups [][]string
+}
+
+// Recommend runs the paper's phase 1 for the given benchmark mix: the mix
+// executes on the simulated machine with the signature hardware enabled, the
+// selected policy is invoked periodically, and the majority decision is
+// returned (§4.1).
+func Recommend(mix []string, opts *Options) (*Schedule, error) {
+	profiles, err := lookupMix(mix)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := opts.policy()
+	if err != nil {
+		return nil, err
+	}
+	c := opts.config()
+	mapping := c.Phase1(profiles, pol, opts.virt())
+	return newSchedule(mapping, profiles), nil
+}
+
+func newSchedule(mapping alloc.Mapping, profiles []workload.Profile) *Schedule {
+	s := &Schedule{Mapping: append([]int(nil), mapping...)}
+	cores := 0
+	for _, c := range mapping {
+		if c+1 > cores {
+			cores = c + 1
+		}
+	}
+	groups := make([][]string, cores)
+	i := 0
+	for _, p := range profiles {
+		seen := map[int]bool{}
+		for t := 0; t < p.Threads; t++ {
+			c := mapping[i]
+			i++
+			if !seen[c] {
+				seen[c] = true
+				groups[c] = append(groups[c], p.Name)
+			}
+		}
+	}
+	s.Groups = groups
+	return s
+}
+
+// Evaluation is the outcome of a full two-phase experiment on one mix.
+type Evaluation struct {
+	Chosen *Schedule
+	// UserCycles[mappingKey][i] — per-candidate, per-benchmark user time.
+	Candidates []CandidateResult
+	// Improvements[i] is benchmark i's gain of the chosen schedule over the
+	// worst candidate, (worst−chosen)/worst.
+	Improvements []float64
+	Names        []string
+}
+
+// CandidateResult is one candidate mapping's measured user times.
+type CandidateResult struct {
+	Mapping    []int
+	UserCycles []uint64
+	Chosen     bool
+}
+
+// Evaluate runs the full two-phase methodology on a benchmark mix: phase 1
+// picks a schedule by majority vote; phase 2 runs every balanced candidate
+// mapping to completion and reports the chosen schedule's improvement over
+// the worst mapping for every benchmark (§4.2, Table 1).
+func Evaluate(mix []string, opts *Options) (*Evaluation, error) {
+	profiles, err := lookupMix(mix)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := opts.policy()
+	if err != nil {
+		return nil, err
+	}
+	c := opts.config()
+	out := c.RunMix(profiles, pol, experiments.CandidatesFor(c, profiles), opts.virt())
+
+	ev := &Evaluation{
+		Chosen: newSchedule(out.Chosen, profiles),
+		Names:  append([]string(nil), out.Names...),
+	}
+	for i, cand := range out.Candidates {
+		ev.Candidates = append(ev.Candidates, CandidateResult{
+			Mapping:    append([]int(nil), cand.Mapping...),
+			UserCycles: append([]uint64(nil), cand.UserCycles...),
+			Chosen:     i == out.ChosenIdx,
+		})
+	}
+	for i := range profiles {
+		ev.Improvements = append(ev.Improvements, out.ImprovementFor(i))
+	}
+	return ev, nil
+}

@@ -1,0 +1,55 @@
+package symbio
+
+import (
+	"fmt"
+	"io"
+
+	"symbiosched/internal/trace"
+	"symbiosched/internal/workload"
+)
+
+// Ref is one dynamic instruction of a reference stream: a compute operation
+// (Mem false) or a memory access at Addr.
+type Ref = workload.Ref
+
+// RefSource produces an instruction stream (synthetic generator, trace
+// replay, or a custom model).
+type RefSource = workload.RefSource
+
+// TraceReplay replays a loaded trace as a RefSource, wrapping around when
+// Loop is set (the simulator restarts finished benchmarks, so looping
+// replays stand in for re-execution).
+type TraceReplay = trace.Replay
+
+// CaptureTrace records n instructions of the named benchmark's reference
+// stream (thread 0, address-space 1) into w using the compact binary trace
+// format. The scale divisor matches Options semantics: 16 is the
+// experiment-grade machine, 64 the quick one.
+func CaptureTrace(bench string, n uint64, regionDiv uint64, seed uint64, w io.Writer) error {
+	p, err := workload.ByName(bench)
+	if err != nil {
+		return err
+	}
+	if regionDiv == 0 {
+		regionDiv = 16
+	}
+	if n == 0 {
+		return fmt.Errorf("symbio: zero-length trace capture")
+	}
+	gens := p.NewThreads(1, seed, regionDiv)
+	return trace.Capture(gens[0], n, w)
+}
+
+// ReadTrace loads a binary trace written by CaptureTrace (or cmd/tracegen).
+func ReadTrace(r io.Reader) ([]Ref, error) { return trace.ReadAll(r) }
+
+// WriteTrace encodes an instruction stream into the binary trace format.
+func WriteTrace(refs []Ref, w io.Writer) error {
+	tw := trace.NewWriter(w)
+	for _, ref := range refs {
+		if err := tw.Add(ref); err != nil {
+			return err
+		}
+	}
+	return tw.Close()
+}
