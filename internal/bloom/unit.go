@@ -119,6 +119,13 @@ type Unit struct {
 	entries int
 	ctrMax  uint32
 
+	// Hot-path precomputation: SampleRate is a validated power of two, so
+	// the sampled-set test is a mask instead of a modulo, and the common XOR
+	// hash is held concretely so OnFill/OnEvict skip interface dispatch.
+	sampleMask int
+	xorHash    xorFold
+	useXorHash bool
+
 	counters []uint32
 	cf       []*bitvec.Vector // core filters, one per core
 	lf       []*bitvec.Vector // last filters (snapshots at context switch)
@@ -139,15 +146,19 @@ func NewUnit(cfg Config) *Unit {
 	}
 	entries := cfg.entries()
 	u := &Unit{
-		cfg:      cfg,
-		entries:  entries,
-		ctrMax:   uint32(1)<<uint(cfg.CounterBits) - 1,
-		counters: make([]uint32, entries),
-		cf:       make([]*bitvec.Vector, cfg.Cores),
-		lf:       make([]*bitvec.Vector, cfg.Cores),
+		cfg:        cfg,
+		entries:    entries,
+		ctrMax:     uint32(1)<<uint(cfg.CounterBits) - 1,
+		sampleMask: cfg.SampleRate - 1,
+		counters:   make([]uint32, entries),
+		cf:         make([]*bitvec.Vector, cfg.Cores),
+		lf:         make([]*bitvec.Vector, cfg.Cores),
 	}
 	if cfg.Hash != HashPresence {
 		u.hasher = NewHasher(cfg.Hash, entries)
+		if xf, ok := u.hasher.(xorFold); ok {
+			u.xorHash, u.useXorHash = xf, true
+		}
 	}
 	for i := range u.cf {
 		u.cf[i] = bitvec.New(entries)
@@ -162,15 +173,20 @@ func (u *Unit) Config() Config { return u.cfg }
 // Entries returns the filter size.
 func (u *Unit) Entries() int { return u.entries }
 
-// sampled reports whether events in this set are monitored.
-func (u *Unit) sampled(set int) bool { return set%u.cfg.SampleRate == 0 }
+// sampled reports whether events in this set are monitored. SampleRate is a
+// power of two, so the test is a mask rather than a modulo.
+func (u *Unit) sampled(set int) bool { return set&u.sampleMask == 0 }
 
 // index maps an event to its filter index, or -1 if the event falls outside
 // the sampled sets. In presence mode the index is the cache frame itself
-// (compacted over the sampled sets); otherwise it is the address hash.
+// (compacted over the sampled sets); otherwise it is the address hash. The
+// common XOR hash is dispatched concretely (no interface call).
 func (u *Unit) index(lineAddr uint64, set, way int) int {
-	if !u.sampled(set) {
+	if set&u.sampleMask != 0 {
 		return -1
+	}
+	if u.useXorHash {
+		return u.xorHash.Index(lineAddr)
 	}
 	if u.hasher == nil {
 		return (set/u.cfg.SampleRate)*u.cfg.Geometry.Ways + way

@@ -3,14 +3,19 @@
 // and a two-level hierarchy (per-core private L1s over a shared L2) matching
 // the Intel Core 2 Duo and P4 Xeon configurations used in the evaluation.
 //
-// The shared L2 publishes fill and eviction events to a Listener so the
-// Bloom-filter signature unit (internal/bloom) can shadow its contents
-// exactly the way the paper's hardware does.
+// The shared L2 publishes fill and eviction events to the Bloom-filter
+// signature unit (internal/bloom) so it can shadow the cache's contents
+// exactly the way the paper's hardware does. The unit is attached through
+// SetUnit — a concrete *bloom.Unit pointer, so the per-fill/per-evict calls
+// on the simulation's hottest path are direct (devirtualized). The generic
+// Listener hook remains for tests and custom instrumentation.
 package cache
 
 import (
 	"fmt"
 	"math/bits"
+
+	"symbiosched/internal/bloom"
 )
 
 // Replacement selects the victim-choice policy of a cache.
@@ -101,26 +106,46 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
-// line is one cache frame.
-type line struct {
-	addr  uint64 // line-granular address
-	valid bool
-	used  uint64 // LRU timestamp
-}
-
 // Cache is a single set-associative cache with a configurable replacement
 // policy (true LRU by default).
+//
+// Hot-path layout: frames are stored structure-of-arrays. tags holds
+// lineAddr+1 per frame (0 = invalid) so the hit scan touches a single dense
+// uint64 array and needs no separate valid bit.
+//
+// Recency is position-encoded: for associativities up to 16, order holds one
+// uint64 per set whose 4-bit nibbles list way indices from MRU (nibble 0) to
+// LRU (nibble ways-1). A hit promotes its way's nibble to the front with a
+// few shifts; the victim is read straight out of the LRU nibble — no
+// timestamp array, no per-miss minimum scan. The nibble stack is initialised
+// so victims emerge in way order 0,1,2,… while the set is filling, which
+// reproduces the "first invalid way wins" rule of the timestamp
+// implementation exactly (and keeps the valid ways a prefix of the row, so
+// the hit scan can stop at the first invalid tag). Wider caches (ways > 16,
+// unused by the paper's machines) fall back to the classic timestamp scheme.
+//
+// Global counters are derived: Access only updates the per-core Stats row
+// plus one eviction counter, and Stats() sums the rows on demand — two fewer
+// memory increments on every access.
 type Cache struct {
 	cfg       Config
 	sets      int
 	setMask   uint64
 	lineShift uint
-	frames    []line // sets × ways, row-major by set
-	clock     uint64
-	rng       uint64 // xorshift state for Random replacement
-	listener  Listener
-	stats     Stats
-	perCore   []Stats // indexed by core when known; grown on demand
+	ways      int
+	tags      []uint64 // sets × ways, row-major by set; lineAddr+1, 0 = invalid
+	valid     []uint16 // per-set count of valid ways (always a prefix of the row)
+	order     []uint64 // per-set MRU→LRU nibble stack (ways ≤ 16)
+	orderInit uint64   // initial stack: victims pop in way order 0,1,2,…
+	useOrder  bool
+	lruOrder  bool // fused Replace==LRU && useOrder: one hit-path test
+	used      []uint64 // fill/use timestamps (fallback, ways > 16)
+	clock     uint64   // timestamp source for the fallback path
+	evictions uint64
+	rng       uint64      // xorshift state for Random replacement
+	unit      *bloom.Unit // concrete fast-path observer (production)
+	listener  Listener    // generic observer (tests/instrumentation)
+	perCore   []Stats     // indexed by core; grown on demand
 }
 
 // New constructs a cache. It panics on an invalid geometry (machine
@@ -129,29 +154,67 @@ func New(cfg Config) *Cache {
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:       cfg,
 		sets:      cfg.Sets(),
 		setMask:   uint64(cfg.Sets() - 1),
 		lineShift: cfg.LineShift(),
-		frames:    make([]line, cfg.Sets()*cfg.Ways),
+		ways:      cfg.Ways,
+		tags:      make([]uint64, cfg.Sets()*cfg.Ways),
+		valid:     make([]uint16, cfg.Sets()),
 		rng:       0x9e3779b97f4a7c15,
 	}
+	if cfg.Ways <= 16 {
+		c.useOrder = true
+		c.lruOrder = cfg.Replace == LRU
+		// Nibble i holds way ways-1-i: the LRU nibble starts at way 0, so an
+		// untouched set's victims appear in index order, matching the
+		// first-invalid-way rule of the timestamp scheme.
+		for i := 0; i < cfg.Ways; i++ {
+			c.orderInit |= uint64(cfg.Ways-1-i) << (4 * uint(i))
+		}
+		c.order = make([]uint64, cfg.Sets())
+		for s := range c.order {
+			c.order[s] = c.orderInit
+		}
+	} else {
+		c.used = make([]uint64, cfg.Sets()*cfg.Ways)
+	}
+	return c
 }
 
-// SetListener attaches a fill/evict observer (the signature unit).
+// SetListener attaches a generic fill/evict observer. Production code
+// attaches the signature unit through SetUnit instead, which avoids the
+// interface dispatch on every event; when both are set the unit wins.
 func (c *Cache) SetListener(l Listener) { c.listener = l }
+
+// SetUnit attaches the Bloom-filter signature unit through a concrete
+// pointer. The per-event calls are direct method calls — the cache hot path
+// pays no interface dispatch for signature maintenance.
+func (c *Cache) SetUnit(u *bloom.Unit) { c.unit = u }
 
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
 
-// Stats returns the accumulated counters.
-func (c *Cache) Stats() Stats { return c.stats }
+// Stats returns the accumulated counters, derived by summing the per-core
+// rows (the hot path maintains only those plus the eviction count; the
+// access count is Hits+Misses by construction and is materialised here).
+func (c *Cache) Stats() Stats {
+	s := Stats{Evictions: c.evictions}
+	for i := range c.perCore {
+		s.Hits += c.perCore[i].Hits
+		s.Misses += c.perCore[i].Misses
+	}
+	s.Accesses = s.Hits + s.Misses
+	return s
+}
 
 // CoreStats returns the per-core counters (zero Stats for unseen cores).
 func (c *Cache) CoreStats(core int) Stats {
 	if core < len(c.perCore) {
-		return c.perCore[core]
+		s := c.perCore[core]
+		s.Accesses = s.Hits + s.Misses
+		return s
 	}
 	return Stats{}
 }
@@ -162,84 +225,171 @@ func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift }
 // setOf returns the set index for a line address.
 func (c *Cache) setOf(lineAddr uint64) int { return int(lineAddr & c.setMask) }
 
-func (c *Cache) coreStats(core int) *Stats {
-	for core >= len(c.perCore) {
-		c.perCore = append(c.perCore, Stats{})
-	}
-	return &c.perCore[core]
+// growPerCore extends the per-core stats slice to cover core with a single
+// allocation (the previous version re-walked and appended one element at a
+// time). Out of line so the Access fast path stays small enough to inline
+// the bounds check.
+func (c *Cache) growPerCore(core int) {
+	grown := make([]Stats, core+1)
+	copy(grown, c.perCore)
+	c.perCore = grown
 }
 
 // Access performs a load or store of addr on behalf of core. It returns true
 // on a hit. On a miss the line is filled, evicting the policy's victim if
-// the set is full; fills and evictions are reported to the listener.
+// the set is full; fills and evictions are reported to the signature unit
+// (or generic listener).
+//
+// The hit path is allocation-free and does no victim bookkeeping: it scans
+// the set's tag row (stopping at the first invalid tag — valid ways are
+// always a prefix) and, for LRU, promotes the hit way. All miss work lives
+// in fillMiss.
 func (c *Cache) Access(core int, addr uint64) bool {
-	c.clock++
-	c.stats.Accesses++
-	cs := c.coreStats(core)
-	cs.Accesses++
+	if core >= len(c.perCore) {
+		c.growPerCore(core)
+	}
+	cs := &c.perCore[core]
 
-	lineAddr := c.LineAddr(addr)
-	set := c.setOf(lineAddr)
-	base := set * c.cfg.Ways
-
-	victim := -1
-	var victimUsed uint64 = ^uint64(0)
-	invalid := -1
-	for w := 0; w < c.cfg.Ways; w++ {
-		f := &c.frames[base+w]
-		if f.valid && f.addr == lineAddr {
-			if c.cfg.Replace == LRU {
-				f.used = c.clock
+	lineAddr := addr >> c.lineShift
+	tag := lineAddr + 1
+	set := int(lineAddr & c.setMask)
+	base := set * c.ways
+	// Valid ways are a prefix of the row (fills consume ways in index
+	// order), so the scan is bounded by the valid count and needs no
+	// per-way invalid test.
+	row := c.tags[base : base+int(c.valid[set])]
+	for w := range row {
+		if row[w] == tag {
+			if c.lruOrder {
+				if o := c.order[set]; o&0xF != uint64(w) {
+					c.order[set] = promote(o, w)
+				}
+			} else if c.cfg.Replace == LRU {
+				c.clock++
+				c.used[base+w] = c.clock
 			}
-			c.stats.Hits++
 			cs.Hits++
 			return true
 		}
-		if !f.valid {
-			if invalid < 0 {
-				invalid = w
-			}
-		} else if f.used < victimUsed {
-			victim, victimUsed = w, f.used
-		}
 	}
-
-	c.stats.Misses++
 	cs.Misses++
-	switch {
-	case invalid >= 0:
-		victim = invalid
-	case c.cfg.Replace == Random:
-		// xorshift64: deterministic pseudo-random way selection.
-		c.rng ^= c.rng << 13
-		c.rng ^= c.rng >> 7
-		c.rng ^= c.rng << 17
-		victim = int(c.rng % uint64(c.cfg.Ways))
+	c.fillMiss(core, lineAddr, set, base)
+	return false
+}
+
+// promote moves way w's nibble to the MRU position (nibble 0) of an order
+// word, shifting the nibbles in front of it up by one. The search for w's
+// nibble is branchless: XORing w into every nibble turns the target into the
+// word's first zero nibble, located with the carry-propagation trick.
+func promote(o uint64, w int) uint64 {
+	x := o ^ (uint64(w) * 0x1111111111111111)
+	// Lowest set bit of m marks the first zero nibble of x (the standard
+	// haszero trick, exact for the least significant occurrence).
+	m := (x - 0x1111111111111111) & ^x & 0x8888888888888888
+	p := uint(bits.TrailingZeros64(m)) &^ 3 // bit offset of the nibble, 4-aligned
+	keep := o &^ (uint64(1)<<(p+4) - 1)     // nibbles above the target, unchanged
+	shifted := (o & (uint64(1)<<p - 1)) << 4
+	return keep | shifted | uint64(w)
+}
+
+// fillMiss handles the miss path: victim selection, eviction notification,
+// and the fill. Victim choice is bit-identical to the timestamp scheme:
+// first invalid way if any (they pop from the nibble stack in index order),
+// else the true-LRU (or oldest-filled, for FIFO) way, else a deterministic
+// xorshift-selected way (Random — the RNG advances only when no invalid way
+// exists, as before).
+func (c *Cache) fillMiss(core int, lineAddr uint64, set, base int) {
+	if !c.useOrder {
+		c.fillMissStamp(core, lineAddr, set, base)
+		return
 	}
-	f := &c.frames[base+victim]
-	if f.valid {
-		c.stats.Evictions++
-		if c.listener != nil {
-			c.listener.OnEvict(f.addr, set, victim)
+	var victim int
+	if nv := int(c.valid[set]); nv < c.ways {
+		// Set not full: the next unused way (ways fill in index order).
+		victim = nv
+		c.valid[set] = uint16(nv + 1)
+	} else {
+		o := c.order[set]
+		victim = int(o >> (4 * uint(c.ways-1)) & 0xF)
+		if c.cfg.Replace == Random {
+			// xorshift64: deterministic pseudo-random way selection. The RNG
+			// advances only when no invalid way exists, as before.
+			c.rng ^= c.rng << 13
+			c.rng ^= c.rng >> 7
+			c.rng ^= c.rng << 17
+			victim = int(c.rng % uint64(c.ways))
+		}
+		old := c.tags[base+victim] - 1
+		c.evictions++
+		if c.unit != nil {
+			c.unit.OnEvict(old, set, victim)
+		} else if c.listener != nil {
+			c.listener.OnEvict(old, set, victim)
 		}
 	}
-	f.addr = lineAddr
-	f.valid = true
-	f.used = c.clock
-	if c.listener != nil {
+	c.tags[base+victim] = lineAddr + 1
+	c.order[set] = promote(c.order[set], victim)
+	if c.unit != nil {
+		c.unit.OnFill(core, lineAddr, set, victim)
+	} else if c.listener != nil {
 		c.listener.OnFill(core, lineAddr, set, victim)
 	}
-	return false
+}
+
+// fillMissStamp is the timestamp-based miss path for caches wider than 16
+// ways. One pass finds both the first invalid way (which always wins) and
+// the minimum-timestamp way (the LRU/FIFO victim when the set is full).
+func (c *Cache) fillMissStamp(core int, lineAddr uint64, set, base int) {
+	victim := -1
+	full := true
+	tags := c.tags[base : base+c.ways : base+c.ways]
+	used := c.used[base : base+c.ways : base+c.ways]
+	if nv := int(c.valid[set]); nv < c.ways {
+		victim, full = nv, false
+		c.valid[set] = uint16(nv + 1)
+	} else {
+		var victimUsed uint64 = ^uint64(0)
+		for w := range tags {
+			if u := used[w]; u < victimUsed {
+				victim, victimUsed = w, u
+			}
+		}
+	}
+	if full {
+		if c.cfg.Replace == Random {
+			// xorshift64: deterministic pseudo-random way selection. The RNG
+			// advances only when no invalid way exists, as before.
+			c.rng ^= c.rng << 13
+			c.rng ^= c.rng >> 7
+			c.rng ^= c.rng << 17
+			victim = int(c.rng % uint64(c.ways))
+		}
+		c.evictions++
+		old := tags[victim] - 1
+		if c.unit != nil {
+			c.unit.OnEvict(old, set, victim)
+		} else if c.listener != nil {
+			c.listener.OnEvict(old, set, victim)
+		}
+	}
+	tags[victim] = lineAddr + 1
+	c.clock++
+	used[victim] = c.clock
+	if c.unit != nil {
+		c.unit.OnFill(core, lineAddr, set, victim)
+	} else if c.listener != nil {
+		c.listener.OnFill(core, lineAddr, set, victim)
+	}
 }
 
 // Contains reports whether the line holding addr is resident (no LRU or
 // stats side effects). Intended for tests and footprint probes.
 func (c *Cache) Contains(addr uint64) bool {
 	lineAddr := c.LineAddr(addr)
-	base := c.setOf(lineAddr) * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		f := &c.frames[base+w]
-		if f.valid && f.addr == lineAddr {
+	tag := lineAddr + 1
+	base := c.setOf(lineAddr) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == tag {
 			return true
 		}
 	}
@@ -250,31 +400,44 @@ func (c *Cache) Contains(addr uint64) bool {
 // footprint, used as ground truth when validating occupancy estimates.
 func (c *Cache) ResidentLines() int {
 	n := 0
-	for i := range c.frames {
-		if c.frames[i].valid {
+	for _, t := range c.tags {
+		if t != 0 {
 			n++
 		}
 	}
 	return n
 }
 
-// Flush invalidates every frame, reporting evictions to the listener.
+// Flush invalidates every frame, reporting evictions to the unit/listener.
+// The recency stacks are reset alongside, so a flushed set refills ways in
+// index order exactly like a fresh cache (preserving the valid-prefix
+// invariant the hit scan relies on).
 func (c *Cache) Flush() {
-	for i := range c.frames {
-		f := &c.frames[i]
-		if f.valid {
-			c.stats.Evictions++
-			if c.listener != nil {
-				c.listener.OnEvict(f.addr, i/c.cfg.Ways, i%c.cfg.Ways)
-			}
-			f.valid = false
+	for i, t := range c.tags {
+		if t == 0 {
+			continue
 		}
+		c.evictions++
+		if c.unit != nil {
+			c.unit.OnEvict(t-1, i/c.ways, i%c.ways)
+		} else if c.listener != nil {
+			c.listener.OnEvict(t-1, i/c.ways, i%c.ways)
+		}
+		c.tags[i] = 0
+	}
+	for s := range c.valid {
+		c.valid[s] = 0
+	}
+	for s := range c.order {
+		c.order[s] = c.orderInit
 	}
 }
 
-// ResetStats zeroes the counters without disturbing cache contents.
+// ResetStats zeroes the counters without disturbing cache contents. The
+// per-core slice keeps its length, so per-core accounting resumes without
+// re-growing after a reset.
 func (c *Cache) ResetStats() {
-	c.stats = Stats{}
+	c.evictions = 0
 	for i := range c.perCore {
 		c.perCore[i] = Stats{}
 	}

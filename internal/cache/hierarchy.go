@@ -58,9 +58,10 @@ func (c HierarchyConfig) validate() error {
 // Hierarchy is a multi-core cache hierarchy: private L1s over either a
 // shared L2 or private L2s.
 type Hierarchy struct {
-	cfg HierarchyConfig
-	l1  []*Cache
-	l2  []*Cache // one entry if shared, else one per core
+	cfg   HierarchyConfig
+	l1    []*Cache
+	l2    []*Cache // one entry if shared, else one per core
+	l2for []*Cache // per-core L2 pointer (hot-path lookup without branching)
 }
 
 // NewHierarchy builds the hierarchy. It panics on an invalid configuration.
@@ -79,6 +80,14 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 			h.l2 = append(h.l2, New(cfg.L2))
 		}
 	}
+	h.l2for = make([]*Cache, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		if cfg.SharedL2 {
+			h.l2for[i] = h.l2[0]
+		} else {
+			h.l2for[i] = h.l2[i]
+		}
+	}
 	return h
 }
 
@@ -86,12 +95,7 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 
 // L2For returns the L2 cache serving the given core.
-func (h *Hierarchy) L2For(core int) *Cache {
-	if h.cfg.SharedL2 {
-		return h.l2[0]
-	}
-	return h.l2[core]
-}
+func (h *Hierarchy) L2For(core int) *Cache { return h.l2for[core] }
 
 // L1For returns the private L1 of a core.
 func (h *Hierarchy) L1For(core int) *Cache { return h.l1[core] }
@@ -123,7 +127,7 @@ func (h *Hierarchy) Access(core int, addr uint64) Level {
 	if h.l1[core].Access(core, addr) {
 		return L1
 	}
-	if h.L2For(core).Access(core, addr) {
+	if h.l2for[core].Access(core, addr) {
 		return L2
 	}
 	return Memory

@@ -123,7 +123,20 @@ type Machine struct {
 	threads []*kernel.Thread
 	cores   []coreState
 	now     uint64 // time of the most recently dispatched core
+
+	// Dispatch index: runnable lists the cores with non-empty run queues
+	// (rebuilt whenever queues change). Small machines scan it linearly;
+	// machines above pickCoreLinearMax runnable cores maintain a binary
+	// min-heap keyed by (local clock, core index) so pickCore is O(log n).
+	runnable []int
+	heap     []int
+	useHeap  bool
 }
+
+// pickCoreLinearMax is the largest runnable-core count for which the linear
+// scan is used. A branchy heap only pays off once the scan no longer fits in
+// a couple of cache lines; the paper's machines (2–4 cores) stay linear.
+const pickCoreLinearMax = 8
 
 // New builds a machine running the given processes. Initial affinities are
 // taken from each thread's Affinity field (default 0); call SetAffinities or
@@ -140,11 +153,12 @@ func New(cfg Config, procs []*kernel.Process) *Machine {
 	// One signature unit per distinct L2: a private-L2 machine gets one
 	// unit per core (its cross-core filters simply stay empty — no shared
 	// cache, no interference), a shared-L2 machine gets the paper's single
-	// unit.
+	// unit. The unit is attached concretely (SetUnit) so every fill/evict
+	// on the hot path is a direct call, not an interface dispatch.
 	for _, l2 := range m.hier.L2s() {
 		u := bloom.NewUnit(cfg.Signature)
 		m.units = append(m.units, u)
-		l2.SetListener(unitListener{unit: u})
+		l2.SetUnit(u)
 	}
 	if cfg.Background.enabled() {
 		for c := range m.cores {
@@ -154,17 +168,6 @@ func New(cfg Config, procs []*kernel.Process) *Machine {
 	}
 	m.rebuildQueues()
 	return m
-}
-
-// unitListener forwards one L2's events to its signature unit.
-type unitListener struct{ unit *bloom.Unit }
-
-func (l unitListener) OnFill(core int, lineAddr uint64, set, way int) {
-	l.unit.OnFill(core, lineAddr, set, way)
-}
-
-func (l unitListener) OnEvict(lineAddr uint64, set, way int) {
-	l.unit.OnEvict(lineAddr, set, way)
 }
 
 // Unit exposes the signature unit of the first (shared) L2 — the common
@@ -283,6 +286,53 @@ func (m *Machine) rebuildQueues() {
 			m.cores[c].time = maxTime
 		}
 	}
+	m.rebuildRunnable()
+}
+
+// rebuildRunnable refreshes the dispatch index after any queue change: the
+// runnable core list, and — for large machines — the min-heap over it.
+func (m *Machine) rebuildRunnable() {
+	m.runnable = m.runnable[:0]
+	for c := range m.cores {
+		if len(m.cores[c].queue) > 0 {
+			m.runnable = append(m.runnable, c)
+		}
+	}
+	m.useHeap = len(m.runnable) > pickCoreLinearMax
+	if m.useHeap {
+		m.heap = append(m.heap[:0], m.runnable...)
+		for i := len(m.heap)/2 - 1; i >= 0; i-- {
+			m.siftDown(i)
+		}
+	}
+}
+
+// coreLess orders cores by (local clock, index) — the deterministic dispatch
+// order of the simulator.
+func (m *Machine) coreLess(a, b int) bool {
+	ta, tb := m.cores[a].time, m.cores[b].time
+	return ta < tb || (ta == tb && a < b)
+}
+
+// siftDown restores the heap invariant below position i.
+func (m *Machine) siftDown(i int) {
+	h := m.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && m.coreLess(h[r], h[l]) {
+			min = r
+		}
+		if !m.coreLess(h[min], h[i]) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }
 
 // RunOptions controls one simulation.
@@ -351,21 +401,38 @@ func (m *Machine) allDone() bool {
 	return true
 }
 
-// pickCore returns the runnable core with the smallest local clock, or -1.
+// pickCore returns the runnable core with the smallest local clock (lowest
+// index on ties), or -1. Small machines scan the runnable list; large ones
+// use the min-heap, whose (clock, index) ordering selects the same core the
+// linear scan would, so dispatch order is identical on both paths. Between
+// calls only the previously picked core's clock can change (it is the heap
+// root), so one siftDown from the root restores the invariant.
 func (m *Machine) pickCore() int {
-	best := -1
-	for c := range m.cores {
-		if len(m.cores[c].queue) == 0 {
-			continue
+	if !m.useHeap {
+		best := -1
+		var bestTime uint64
+		for _, c := range m.runnable {
+			if t := m.cores[c].time; best < 0 || t < bestTime {
+				best, bestTime = c, t
+			}
 		}
-		if best < 0 || m.cores[c].time < m.cores[best].time {
-			best = c
-		}
+		return best
 	}
-	return best
+	if len(m.heap) == 0 {
+		return -1
+	}
+	m.siftDown(0)
+	return m.heap[0]
 }
 
 // step runs one dispatch batch on core c and returns instructions retired.
+//
+// The per-access work is dispatched to one of three specialized batch
+// loops so the hot path carries no per-instruction conditionals that are
+// invariant across the batch: the AccessHook nil check and the cost-factor
+// resolution happen once per batch, and the common case (no hook, synthetic
+// generator) calls the workload generator through a concrete pointer
+// instead of the RefSource interface.
 func (m *Machine) step(c int) uint64 {
 	cs := &m.cores[c]
 	if cs.bgGen != nil && cs.time >= cs.nextBg {
@@ -380,14 +447,165 @@ func (m *Machine) step(c int) uint64 {
 	if den == 0 {
 		num, den = 1, 1
 	}
-	var cycles uint64
 	n := m.cfg.Batch
+	var cycles uint64
+	switch {
+	case m.cfg.AccessHook != nil:
+		cycles = m.batchHooked(cs, t, c, n, num, den)
+	default:
+		if gen, ok := t.Gen.(*workload.Generator); ok {
+			cycles = m.batchGen(cs, t, gen, c, n, num, den)
+		} else {
+			cycles = m.batchSrc(cs, t, t.Gen, c, n, num, den)
+		}
+	}
+	// The per-instruction cost factor (virtualization overhead) is applied
+	// at batch granularity to avoid integer-truncation bias on cheap ops.
+	cycles = cycles * num / den
+	t.UserCycles += cycles
+	cs.time += cycles
+	cs.quantumLeft -= int64(cycles)
+	return uint64(n)
+}
+
+// batchGen is the common-case batch loop: no access hook, concrete
+// synthetic generator. It consumes the generator through NextRun, so the
+// per-instruction loop lives inside the generator's integer accumulator and
+// the engine pays one call (and one cost/retirement update) per memory
+// operation; the compute instructions between memory operations are retired
+// in bulk at one cycle each. Observable state (cycles, retirement counts,
+// completion times, cache traffic) is bit-identical to the per-instruction
+// loop in batchSrc — keep the two in sync.
+func (m *Machine) batchGen(cs *coreState, t *kernel.Thread, gen *workload.Generator, c, n int, num, den uint64) uint64 {
+	hier := m.hier
+	l1Cost, l2Cost := m.cfg.L1Cost, m.cfg.L2Cost
+	memCost, prefCost := m.cfg.MemCost, m.cfg.PrefetchCost
+	// Thread and core counters live in locals across the batch and are
+	// written back once — the loop body touches memory only through the
+	// cache model.
+	target, retired := t.InstrTarget, t.InstrRetired
+	lastMiss := cs.lastMissLine
+	var memRefs, l2Refs, l2Misses uint64
+	var cycles uint64
+	i := 0
+	for i < n {
+		skip, addr, mem := gen.NextRun(n - i)
+		if skip > 0 {
+			// Bulk-retire the run of compute instructions: 1 cycle each, with
+			// run-completion checks folded into whole-target chunks. The inner
+			// loop runs at most once per completed run (InstrTarget ≥ 1), not
+			// per instruction.
+			i += skip
+			left := uint64(skip)
+			for left >= target-retired {
+				done := target - retired
+				left -= done
+				cycles += done
+				if t.Runs == 0 {
+					t.CompletionUser = t.UserCycles + cycles*num/den
+				}
+				t.Runs++
+				retired = 0
+			}
+			retired += left
+			cycles += left
+		}
+		if !mem {
+			break
+		}
+		i++
+		memRefs++
+		cost := uint64(1)
+		switch hier.Access(c, addr) {
+		case cache.L1:
+			cost += l1Cost
+		case cache.L2:
+			l2Refs++
+			cost += l2Cost
+		default:
+			l2Refs++
+			l2Misses++
+			line := addr >> 6
+			if line == lastMiss+1 {
+				cost += prefCost
+			} else {
+				cost += memCost
+			}
+			lastMiss = line
+		}
+		cycles += cost
+		retired++
+		if retired >= target {
+			if t.Runs == 0 {
+				t.CompletionUser = t.UserCycles + cycles*num/den
+			}
+			t.Runs++
+			retired = 0
+		}
+	}
+	t.InstrRetired = retired
+	t.MemRefs += memRefs
+	t.L2Refs += l2Refs
+	t.L2Misses += l2Misses
+	cs.lastMissLine = lastMiss
+	return cycles
+}
+
+// batchSrc is batchGen for non-synthetic instruction sources (trace replay,
+// custom RefSource implementations).
+func (m *Machine) batchSrc(cs *coreState, t *kernel.Thread, gen workload.RefSource, c, n int, num, den uint64) uint64 {
+	hier := m.hier
+	l1Cost, l2Cost := m.cfg.L1Cost, m.cfg.L2Cost
+	memCost, prefCost := m.cfg.MemCost, m.cfg.PrefetchCost
+	var cycles uint64
+	for i := 0; i < n; i++ {
+		ref := gen.Next()
+		cost := uint64(1)
+		if ref.Mem {
+			t.MemRefs++
+			switch hier.Access(c, ref.Addr) {
+			case cache.L1:
+				cost += l1Cost
+			case cache.L2:
+				t.L2Refs++
+				cost += l2Cost
+			default:
+				t.L2Refs++
+				t.L2Misses++
+				line := ref.Addr >> 6
+				if line == cs.lastMissLine+1 {
+					cost += prefCost
+				} else {
+					cost += memCost
+				}
+				cs.lastMissLine = line
+			}
+		}
+		cycles += cost
+		t.InstrRetired++
+		if t.InstrRetired >= t.InstrTarget {
+			if t.Runs == 0 {
+				t.CompletionUser = t.UserCycles + cycles*num/den
+			}
+			t.Runs++
+			t.InstrRetired = 0
+		}
+	}
+	return cycles
+}
+
+// batchHooked is the instrumented batch loop: every resolved memory access
+// is reported to the AccessHook (footprint ground-truth collection).
+func (m *Machine) batchHooked(cs *coreState, t *kernel.Thread, c, n int, num, den uint64) uint64 {
+	hier := m.hier
+	hook := m.cfg.AccessHook
+	var cycles uint64
 	for i := 0; i < n; i++ {
 		ref := t.Gen.Next()
 		cost := uint64(1)
 		if ref.Mem {
 			t.MemRefs++
-			level := m.hier.Access(c, ref.Addr)
+			level := hier.Access(c, ref.Addr)
 			switch level {
 			case cache.L1:
 				cost += m.cfg.L1Cost
@@ -405,9 +623,7 @@ func (m *Machine) step(c int) uint64 {
 				}
 				cs.lastMissLine = line
 			}
-			if m.cfg.AccessHook != nil {
-				m.cfg.AccessHook(c, ref.Addr>>6, level)
-			}
+			hook(c, ref.Addr>>6, level)
 		}
 		cycles += cost
 		t.InstrRetired++
@@ -419,13 +635,7 @@ func (m *Machine) step(c int) uint64 {
 			t.InstrRetired = 0
 		}
 	}
-	// The per-instruction cost factor (virtualization overhead) is applied
-	// at batch granularity to avoid integer-truncation bias on cheap ops.
-	cycles = cycles * num / den
-	t.UserCycles += cycles
-	cs.time += cycles
-	cs.quantumLeft -= int64(cycles)
-	return uint64(n)
+	return cycles
 }
 
 // runBackground executes one burst of service activity on core c, charging

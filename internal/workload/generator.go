@@ -17,18 +17,35 @@ type RefSource interface {
 
 // Generator emits the instruction stream of one thread. Memory operations
 // are interleaved deterministically at the profile's memory ratio using a
-// fractional accumulator, and addresses come from the thread's private
-// pattern or (for multi-threaded processes) the process-shared pattern.
+// fixed-point fractional accumulator (an integer Bresenham walk), and
+// addresses come from the thread's private pattern or (for multi-threaded
+// processes) the process-shared pattern.
+//
+// Fixed-point note (PR 1): the original implementation accumulated a
+// float64 (`acc += memRatio; emit when acc ≥ 1`). The rewrite accumulates
+// the exact Q53 numerator of the float64 ratio (ratio·2^53 is an exact
+// integer for any float64 in (0,1]), so the emission sequence is the exact
+// Bresenham interleaving of the true rational ratio with zero accumulated
+// rounding error. It can differ from the old float64 sequence only at the
+// rare steps where float64 addition rounded — a deliberate determinism
+// change; all paper-shape contracts (class bounds, correlations,
+// improvement orderings) were re-verified after the switch (see
+// EXPERIMENTS.md, "Determinism and the fixed-point generator").
 type Generator struct {
-	pattern    Pattern
-	shared     Pattern // nil for single-threaded processes
-	sharedFrac float64
-	memRatio   float64
-	base       uint64 // private-region base address (address-space separation)
-	sharedBase uint64 // shared-region base address
-	acc        float64
-	rng        *Rand
+	pattern      Pattern
+	shared       Pattern // nil for single-threaded processes
+	sharedThresh Threshold
+	hasShared    bool
+	memRatio     float64
+	ratioQ53     uint64 // memRatio · 2^53, exact
+	accQ53       uint64 // fractional accumulator in Q53
+	base         uint64 // private-region base address (address-space separation)
+	sharedBase   uint64 // shared-region base address
+	rng          *Rand
 }
+
+// oneQ53 is 1.0 in the generator's Q53 fixed-point domain.
+const oneQ53 = uint64(1) << 53
 
 // GeneratorConfig assembles a Generator.
 type GeneratorConfig struct {
@@ -50,27 +67,77 @@ func NewGenerator(cfg GeneratorConfig) *Generator {
 		panic("workload: memory ratio must be in (0,1]")
 	}
 	return &Generator{
-		pattern:    cfg.Pattern,
-		shared:     cfg.Shared,
-		sharedFrac: cfg.SharedFrac,
-		memRatio:   cfg.MemRatio,
-		base:       cfg.Base,
-		sharedBase: cfg.SharedBase,
-		rng:        NewRand(cfg.Seed),
+		pattern:      cfg.Pattern,
+		shared:       cfg.Shared,
+		sharedThresh: NewThreshold(cfg.SharedFrac),
+		hasShared:    cfg.Shared != nil,
+		memRatio:     cfg.MemRatio,
+		ratioQ53:     uint64(cfg.MemRatio * (1 << 53)), // exact for float64 ∈ (0,1]
+		base:         cfg.Base,
+		sharedBase:   cfg.SharedBase,
+		rng:          NewRand(cfg.Seed),
 	}
 }
 
-// Next returns the next instruction.
+// Next returns the next instruction. The memory/compute interleaving is a
+// pure integer Bresenham accumulator; the shared-region draw compares raw
+// random bits against a precomputed threshold (no floating point on the
+// path).
 func (g *Generator) Next() Ref {
-	g.acc += g.memRatio
-	if g.acc < 1 {
+	acc := g.accQ53 + g.ratioQ53
+	if acc < oneQ53 {
+		g.accQ53 = acc
 		return Ref{}
 	}
-	g.acc--
-	if g.shared != nil && g.rng.Float64() < g.sharedFrac {
+	g.accQ53 = acc - oneQ53
+	if g.hasShared && g.rng.Below(g.sharedThresh) {
 		return Ref{Addr: g.sharedBase + g.shared.Next(g.rng), Mem: true}
 	}
 	return Ref{Addr: g.base + g.pattern.Next(g.rng), Mem: true}
+}
+
+// NextRun advances the stream by up to limit instructions in one call and
+// is the engine's batch entry point: a run of compute instructions and the
+// memory operation that ends it are produced together, so the simulator
+// pays one call per memory operation instead of one call per instruction.
+//
+// It returns the number of compute instructions consumed (skipped) and, if
+// mem is true, the address of the memory operation that follows them — in
+// which case skipped+1 ≤ limit instructions were consumed. If no memory
+// operation falls within limit instructions, exactly limit compute
+// instructions are consumed and mem is false (the accumulator state carries
+// over, so batch boundaries do not perturb the emission sequence).
+//
+// The emitted instruction sequence is bit-identical to calling Next()
+// limit times, but the cost is O(1) per call rather than O(limit): the
+// number of compute instructions before the next memory operation is the
+// closed-form solution of the accumulator recurrence (smallest k with
+// acc + k·ratio ≥ 2^53), so the simulator's work scales with the number of
+// memory operations, not the number of instructions. Memory-intense streams
+// (k = 1) skip the division entirely.
+//
+// No intermediate quantity overflows: k ≤ ⌈2^53/ratio⌉ and k·ratio <
+// 2^53 + ratio ≤ 2^54, and limit·ratio ≤ 2^61 for any batch ≤ 256.
+func (g *Generator) NextRun(limit int) (skipped int, addr uint64, mem bool) {
+	if limit <= 0 {
+		return 0, 0, false
+	}
+	acc := g.accQ53
+	ratio := g.ratioQ53
+	if acc+ratio < oneQ53 { // k > 1: solve for the run length
+		k := (oneQ53 - acc + ratio - 1) / ratio
+		if k > uint64(limit) {
+			g.accQ53 = acc + uint64(limit)*ratio
+			return limit, 0, false
+		}
+		acc += (k - 1) * ratio
+		skipped = int(k - 1)
+	}
+	g.accQ53 = acc + ratio - oneQ53
+	if g.hasShared && g.rng.Below(g.sharedThresh) {
+		return skipped, g.sharedBase + g.shared.Next(g.rng), true
+	}
+	return skipped, g.base + g.pattern.Next(g.rng), true
 }
 
 // MemRatio returns the configured memory-operation ratio.

@@ -1,6 +1,26 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
+
+// lineIn maps 64 random bits to a line-aligned offset within a region of
+// `lines` cache lines using the multiply-shift range reduction (the high word
+// of x·lines): one multiply instead of the hardware divide that `x % lines`
+// costs, on the hottest address-generation path.
+//
+// Determinism note (PR 1): this changes which offset a given random draw maps
+// to compared with the old `%` reduction, so address sequences from
+// RandomPattern/HotspotPattern differ from pre-PR-1 builds. The distribution
+// is at least as uniform (multiply-shift has strictly smaller bias than
+// modulo for non-power-of-two ranges), and all paper-shape contracts were
+// re-verified after the switch (see EXPERIMENTS.md, "Determinism and the
+// fixed-point generator").
+func lineIn(x, lines uint64) uint64 {
+	hi, _ := bits.Mul64(x, lines)
+	return hi * 64
+}
 
 // Pattern generates address offsets within a benchmark's data region. A
 // Pattern carries its own cursor state; Clone produces an independent
@@ -78,8 +98,7 @@ type RandomPattern struct {
 
 // Next returns a uniformly random line-aligned offset.
 func (p *RandomPattern) Next(r *Rand) uint64 {
-	lines := p.Region / 64
-	return (r.Uint64() % lines) * 64
+	return lineIn(r.Uint64(), p.Region/64)
 }
 
 // Footprint returns the region size.
@@ -95,16 +114,20 @@ type HotspotPattern struct {
 	HotRegion  uint64  // size of the hot region in bytes
 	ColdRegion uint64  // size of the cold region in bytes
 	Hot        float64 // fraction of accesses to the hot region
+
+	hotThresh   Threshold // lazily derived Q53 threshold for Hot
+	threshValid bool
 }
 
 // Next returns a hot- or cold-region offset.
 func (p *HotspotPattern) Next(r *Rand) uint64 {
-	if r.Float64() < p.Hot {
-		lines := p.HotRegion / 64
-		return (r.Uint64() % lines) * 64
+	if !p.threshValid {
+		p.hotThresh, p.threshValid = NewThreshold(p.Hot), true
 	}
-	lines := p.ColdRegion / 64
-	return p.HotRegion + (r.Uint64()%lines)*64
+	if r.Below(p.hotThresh) {
+		return lineIn(r.Uint64(), p.HotRegion/64)
+	}
+	return p.HotRegion + lineIn(r.Uint64(), p.ColdRegion/64)
 }
 
 // Footprint returns hot+cold region size.
@@ -162,11 +185,17 @@ type MixPattern struct {
 	A, B    Pattern
 	AFrac   float64
 	BOffset uint64
+
+	aThresh     Threshold // lazily derived Q53 threshold for AFrac
+	threshValid bool
 }
 
 // Next returns an offset from A or B.
 func (p *MixPattern) Next(r *Rand) uint64 {
-	if r.Float64() < p.AFrac {
+	if !p.threshValid {
+		p.aThresh, p.threshValid = NewThreshold(p.AFrac), true
+	}
+	if r.Below(p.aThresh) {
 		return p.A.Next(r)
 	}
 	return p.BOffset + p.B.Next(r)

@@ -150,10 +150,11 @@ func (p Profile) NewThreads(asid int, seed uint64, div uint64) []*Generator {
 		// region accessed with probability StackFrac. The stack scales with
 		// the machine so it stays L1-resident at every scale divisor.
 		pat := &stackedPattern{
-			stack:     &RandomPattern{Region: scaleBytes(stackBytes, div)},
-			body:      priv,
-			stackFrac: p.StackFrac,
-			stackOff:  stackOffset,
+			stack:       &RandomPattern{Region: scaleBytes(stackBytes, div)},
+			body:        priv,
+			stackFrac:   p.StackFrac,
+			stackThresh: NewThreshold(p.StackFrac),
+			stackOff:    stackOffset,
 		}
 		var sh Pattern
 		if shared != nil {
@@ -173,16 +174,19 @@ func (p Profile) NewThreads(asid int, seed uint64, div uint64) []*Generator {
 }
 
 // stackedPattern routes a StackFrac share of accesses to a small stack
-// region placed stackOff above the body region.
+// region placed stackOff above the body region. The stack draw uses a
+// precomputed Q53 threshold (exactly equivalent to Float64() < stackFrac)
+// since it runs once per memory operation.
 type stackedPattern struct {
-	stack     Pattern
-	body      Pattern
-	stackFrac float64
-	stackOff  uint64
+	stack       Pattern
+	body        Pattern
+	stackFrac   float64
+	stackThresh Threshold
+	stackOff    uint64
 }
 
 func (s *stackedPattern) Next(r *Rand) uint64 {
-	if r.Float64() < s.stackFrac {
+	if r.Below(s.stackThresh) {
 		return s.stackOff + s.stack.Next(r)
 	}
 	return s.body.Next(r)
@@ -192,10 +196,11 @@ func (s *stackedPattern) Footprint() uint64 { return s.body.Footprint() + s.stac
 
 func (s *stackedPattern) Clone() Pattern {
 	return &stackedPattern{
-		stack:     s.stack.Clone(),
-		body:      s.body.Clone(),
-		stackFrac: s.stackFrac,
-		stackOff:  s.stackOff,
+		stack:       s.stack.Clone(),
+		body:        s.body.Clone(),
+		stackFrac:   s.stackFrac,
+		stackThresh: s.stackThresh,
+		stackOff:    s.stackOff,
 	}
 }
 

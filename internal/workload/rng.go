@@ -40,6 +40,39 @@ func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
+// Threshold is a probability pre-scaled to the Q53 fixed-point domain of
+// Below: comparing the generator's 53 random bits against a Threshold is
+// bit-for-bit equivalent to `Float64() < frac` without the int→float
+// conversion and FP compare on the hot path.
+type Threshold uint64
+
+// NewThreshold converts a probability in [0, 1] to its Q53 threshold.
+//
+// Exactness: Float64() = float64(x)/2^53 with x = Uint64()>>11 < 2^53, so x
+// is exactly representable and the division (by a power of two) is exact.
+// Hence Float64() < frac ⇔ x < frac·2^53 over the reals ⇔ x < ⌈frac·2^53⌉
+// over the integers; frac·2^53 is itself exact in float64 (pure exponent
+// shift), so the ceil introduces no rounding either.
+func NewThreshold(frac float64) Threshold {
+	if frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		return Threshold(1) << 53
+	}
+	t := frac * (1 << 53)
+	u := Threshold(t)
+	if float64(u) < t {
+		u++
+	}
+	return u
+}
+
+// Below draws 53 random bits and reports whether they fall below the
+// threshold — exactly equivalent to Float64() < frac for the matching
+// NewThreshold(frac), consuming one Uint64 draw either way.
+func (r *Rand) Below(t Threshold) bool { return Threshold(r.Uint64()>>11) < t }
+
 // Fork derives an independent generator from this one, for seeding
 // per-thread streams from a per-process seed.
 func (r *Rand) Fork() *Rand { return NewRand(r.Uint64()) }
