@@ -248,8 +248,22 @@ func (c *Cache) Access(core int, addr uint64) bool {
 	if core >= len(c.perCore) {
 		c.growPerCore(core)
 	}
-	cs := &c.perCore[core]
+	if c.AccessFast(core, addr) {
+		c.perCore[core].Hits++
+		return true
+	}
+	c.perCore[core].Misses++
+	return false
+}
 
+// AccessFast is Access without the per-access statistics bookkeeping: cache
+// state transitions (hit scan, LRU promotion, fills, evictions, unit
+// events) are identical, but no hit/miss counter is touched. Batch drivers
+// (the engine's inner loops) keep those counts in registers and credit them
+// once per batch through AddCoreStats, which removes two read-modify-writes
+// and a bounds check from every simulated memory access. All other callers
+// should use Access.
+func (c *Cache) AccessFast(core int, addr uint64) bool {
 	lineAddr := addr >> c.lineShift
 	tag := lineAddr + 1
 	set := int(lineAddr & c.setMask)
@@ -268,13 +282,22 @@ func (c *Cache) Access(core int, addr uint64) bool {
 				c.clock++
 				c.used[base+w] = c.clock
 			}
-			cs.Hits++
 			return true
 		}
 	}
-	cs.Misses++
 	c.fillMiss(core, lineAddr, set, base)
 	return false
+}
+
+// AddCoreStats credits a batch of hit/miss counts to core's statistics row,
+// pairing with AccessFast. Growing the row here (not per access) keeps the
+// fast path free of the length check.
+func (c *Cache) AddCoreStats(core int, hits, misses uint64) {
+	if core >= len(c.perCore) {
+		c.growPerCore(core)
+	}
+	c.perCore[core].Hits += hits
+	c.perCore[core].Misses += misses
 }
 
 // promote moves way w's nibble to the MRU position (nibble 0) of an order

@@ -477,7 +477,10 @@ func (m *Machine) step(c int) uint64 {
 // completion times, cache traffic) is bit-identical to the per-instruction
 // loop in batchSrc — keep the two in sync.
 func (m *Machine) batchGen(cs *coreState, t *kernel.Thread, gen *workload.Generator, c, n int, num, den uint64) uint64 {
-	hier := m.hier
+	// The two hierarchy levels are hoisted to concrete cache pointers: the
+	// per-access walk is two direct calls with no wrapper frame, matching
+	// Hierarchy.Access exactly (non-inclusive, L1 then the core's L2).
+	l1, l2 := m.hier.L1For(c), m.hier.L2For(c)
 	l1Cost, l2Cost := m.cfg.L1Cost, m.cfg.L2Cost
 	memCost, prefCost := m.cfg.MemCost, m.cfg.PrefetchCost
 	// Thread and core counters live in locals across the batch and are
@@ -516,14 +519,11 @@ func (m *Machine) batchGen(cs *coreState, t *kernel.Thread, gen *workload.Genera
 		i++
 		memRefs++
 		cost := uint64(1)
-		switch hier.Access(c, addr) {
-		case cache.L1:
+		if l1.AccessFast(c, addr) {
 			cost += l1Cost
-		case cache.L2:
-			l2Refs++
+		} else if l2Refs++; l2.AccessFast(c, addr) {
 			cost += l2Cost
-		default:
-			l2Refs++
+		} else {
 			l2Misses++
 			line := addr >> 6
 			if line == lastMiss+1 {
@@ -548,6 +548,11 @@ func (m *Machine) batchGen(cs *coreState, t *kernel.Thread, gen *workload.Genera
 	t.L2Refs += l2Refs
 	t.L2Misses += l2Misses
 	cs.lastMissLine = lastMiss
+	// Credit the cache statistics accumulated in registers (AccessFast does
+	// not count): L1 sees every memory reference and misses exactly the L2
+	// references; L2 misses are the memory accesses.
+	l1.AddCoreStats(c, memRefs-l2Refs, l2Refs)
+	l2.AddCoreStats(c, l2Refs-l2Misses, l2Misses)
 	return cycles
 }
 

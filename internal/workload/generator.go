@@ -42,6 +42,18 @@ type Generator struct {
 	base         uint64 // private-region base address (address-space separation)
 	sharedBase   uint64 // shared-region base address
 	rng          *Rand
+
+	// Flattened stackedPattern fast path (see NewGenerator): when the
+	// private pattern is a stackedPattern, the stack draw — the majority of
+	// address draws for high-StackFrac profiles — is inlined here so it
+	// costs one RNG draw and a multiply instead of two interface calls and
+	// two draws: the top 32 bits of a single draw decide stack-vs-body
+	// (Q32 threshold) and the low 32 bits select the stack line.
+	hasStack      bool
+	stackThresh32 uint64 // ⌈StackFrac·2^32⌉, compared against the draw's top 32 bits
+	stackLines    uint64
+	stackBase     uint64  // base + stackOff
+	body          Pattern // the stacked pattern's body component
 }
 
 // oneQ53 is 1.0 in the generator's Q53 fixed-point domain.
@@ -66,7 +78,7 @@ func NewGenerator(cfg GeneratorConfig) *Generator {
 	if cfg.MemRatio <= 0 || cfg.MemRatio > 1 {
 		panic("workload: memory ratio must be in (0,1]")
 	}
-	return &Generator{
+	g := &Generator{
 		pattern:      cfg.Pattern,
 		shared:       cfg.Shared,
 		sharedThresh: NewThreshold(cfg.SharedFrac),
@@ -77,6 +89,25 @@ func NewGenerator(cfg GeneratorConfig) *Generator {
 		sharedBase:   cfg.SharedBase,
 		rng:          NewRand(cfg.Seed),
 	}
+	// Devirtualize the stackedPattern composition: its stack component is
+	// always a uniform RandomPattern, so the generator performs the
+	// threshold decision and the line draw inline from a single RNG draw —
+	// no interface dispatch on the ~StackFrac majority path. The Q32
+	// threshold is ⌈frac·2^32⌉ = ⌈⌈frac·2^53⌉/2^21⌉ (exact: ceil of a ceil
+	// through a power-of-two divisor), so the decision bias is < 2^-32.
+	// This is a documented determinism change relative to the two-draw
+	// interface path (see EXPERIMENTS.md, "Determinism and the fixed-point
+	// generator"): the stack decision drops from 53- to 32-bit resolution
+	// and the body stream sees a different (one draw per stack op shorter)
+	// RNG sequence; all paper-shape contracts were re-verified.
+	if sp, ok := cfg.Pattern.(*stackedPattern); ok && sp.stackLines > 0 {
+		g.hasStack = true
+		g.stackThresh32 = (uint64(sp.stackThresh) + 1<<21 - 1) >> 21
+		g.stackLines = sp.stackLines
+		g.stackBase = cfg.Base + sp.stackOff
+		g.body = sp.body
+	}
+	return g
 }
 
 // Next returns the next instruction. The memory/compute interleaving is a
@@ -93,7 +124,24 @@ func (g *Generator) Next() Ref {
 	if g.hasShared && g.rng.Below(g.sharedThresh) {
 		return Ref{Addr: g.sharedBase + g.shared.Next(g.rng), Mem: true}
 	}
-	return Ref{Addr: g.base + g.pattern.Next(g.rng), Mem: true}
+	return Ref{Addr: g.privateAddr(), Mem: true}
+}
+
+// privateAddr draws one private-region address. The flattened stack path
+// spends a single RNG draw: the top 32 bits decide stack-vs-body against
+// the Q32 threshold, and on a stack access the low 32 bits pick the line
+// (multiply-shift reduction, disjoint bit ranges so decision and address
+// are uncorrelated). Body accesses fall through to the pattern interface
+// with the RNG positioned after that one draw.
+func (g *Generator) privateAddr() uint64 {
+	if g.hasStack {
+		x := g.rng.Uint64()
+		if x>>32 < g.stackThresh32 {
+			return g.stackBase + ((x&0xFFFFFFFF)*g.stackLines>>32)*64
+		}
+		return g.base + g.body.Next(g.rng)
+	}
+	return g.base + g.pattern.Next(g.rng)
 }
 
 // NextRun advances the stream by up to limit instructions in one call and
@@ -114,7 +162,9 @@ func (g *Generator) Next() Ref {
 // closed-form solution of the accumulator recurrence (smallest k with
 // acc + k·ratio ≥ 2^53), so the simulator's work scales with the number of
 // memory operations, not the number of instructions. Memory-intense streams
-// (k = 1) skip the division entirely.
+// (k = 1) skip the division entirely. (An iterative walk of the
+// accumulator for small k was measured and is slower: the run lengths are
+// data-random, so the loop branch mispredicts, while the divide pipelines.)
 //
 // No intermediate quantity overflows: k ≤ ⌈2^53/ratio⌉ and k·ratio <
 // 2^53 + ratio ≤ 2^54, and limit·ratio ≤ 2^61 for any batch ≤ 256.
@@ -136,6 +186,15 @@ func (g *Generator) NextRun(limit int) (skipped int, addr uint64, mem bool) {
 	g.accQ53 = acc + ratio - oneQ53
 	if g.hasShared && g.rng.Below(g.sharedThresh) {
 		return skipped, g.sharedBase + g.shared.Next(g.rng), true
+	}
+	// Manually inlined privateAddr (NextRun is too large for the compiler
+	// to inline it, and the call costs more than the draw) — keep in sync.
+	if g.hasStack {
+		x := g.rng.Uint64()
+		if x>>32 < g.stackThresh32 {
+			return skipped, g.stackBase + ((x&0xFFFFFFFF)*g.stackLines>>32)*64, true
+		}
+		return skipped, g.base + g.body.Next(g.rng), true
 	}
 	return skipped, g.base + g.pattern.Next(g.rng), true
 }
