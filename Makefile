@@ -1,0 +1,35 @@
+# Developer entry points. `make ci` is the full gate a PR must pass; the
+# individual targets exist so the expensive pieces can run alone.
+
+GO ?= go
+
+.PHONY: ci vet build test race benchsmoke bench clean
+
+ci: vet build race benchsmoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race mode exercises the experiments.parallel worker pool and the engine's
+# per-mix fan-out — the only concurrency in the tree.
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches bit-rot in the bench suite (and
+# regenerates each figure once) without committing to real measurement time.
+benchsmoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Real measurement: the recorded Figure 10 sweep harness. Appends to
+# results/BENCH_<date>.json; see README "Performance".
+bench:
+	$(GO) run ./cmd/bench -label $$(git rev-parse --short HEAD)
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,148 @@
+// Command bench is the reproducible performance harness for the simulator's
+// headline workload: the Figure 10 sweep (every 4-subset of a 6-benchmark
+// pool, two-phase methodology) at the Quick scale — the same work as
+// BenchmarkFigure10 in bench_test.go, but self-timed and recorded to a JSON
+// artifact so before/after comparisons survive in the repository.
+//
+// Protocol: the sweep runs -reps times in one process; the minimum wall time
+// is the headline number (robust to ambient load on shared hosts), and the
+// per-rep times are kept so noise is visible. The sweep's avg/max
+// improvement metrics are recorded as a determinism checksum: two builds
+// that disagree on them are not running the same experiment, and their
+// times must not be compared.
+//
+// Usage:
+//
+//	go run ./cmd/bench -label after -out results/BENCH_2026-08-06.json
+//
+// When -out names an existing file produced by this tool, the new entry is
+// appended, so running the tool once per build accumulates a comparison
+// (build the tool at the baseline commit and point -out at the same file).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"symbiosched/internal/alloc"
+	"symbiosched/internal/experiments"
+	"symbiosched/internal/workload"
+)
+
+// Report is the on-disk artifact: one file, many labelled entries.
+type Report struct {
+	Benchmark string  `json:"benchmark"`
+	Protocol  string  `json:"protocol"`
+	Entries   []Entry `json:"entries"`
+}
+
+// Entry is one measured build.
+type Entry struct {
+	Label      string    `json:"label"`
+	Date       string    `json:"date"`
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Reps       []float64 `json:"rep_seconds"`
+	MinSeconds float64   `json:"min_seconds"`
+	// Determinism checksum: the experiment's own outputs. Entries whose
+	// checksums differ are not comparable.
+	AvgImprovementPct float64 `json:"avg_improvement_pct"`
+	MaxImprovementPct float64 `json:"max_improvement_pct"`
+	Note              string  `json:"note,omitempty"`
+}
+
+func main() {
+	reps := flag.Int("reps", 3, "sweep repetitions (minimum wall time is reported)")
+	label := flag.String("label", "HEAD", "entry label, e.g. a commit id")
+	out := flag.String("out", "", "JSON artifact path (default results/BENCH_<date>.json); appended to if it exists")
+	note := flag.String("note", "", "free-form provenance note stored with the entry")
+	mixSize := flag.Int("mixsize", 4, "benchmarks per mix")
+	flag.Parse()
+
+	cfg := experiments.Quick()
+	pool := pool()
+	policy := alloc.WeightedInterferenceGraph{}
+
+	e := Entry{
+		Label:      *label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		MinSeconds: -1,
+		Note:       *note,
+	}
+	for i := 0; i < *reps; i++ {
+		start := time.Now()
+		rep := cfg.Sweep(pool, policy, *mixSize, nil)
+		secs := time.Since(start).Seconds()
+		e.Reps = append(e.Reps, secs)
+		if e.MinSeconds < 0 || secs < e.MinSeconds {
+			e.MinSeconds = secs
+		}
+		e.AvgImprovementPct = 100 * rep.Overall()
+		e.MaxImprovementPct = 100 * rep.MaxOverall()
+		fmt.Fprintf(os.Stderr, "rep %d/%d: %.3fs (avg %.3f%%, max %.2f%%)\n",
+			i+1, *reps, secs, e.AvgImprovementPct, e.MaxImprovementPct)
+	}
+
+	path := *out
+	if path == "" {
+		path = "results/BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+	rpt := load(path)
+	rpt.Entries = append(rpt.Entries, e)
+	buf, err := json.MarshalIndent(rpt, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %s min %.3fs over %d reps\n", path, e.Label, e.MinSeconds, *reps)
+	if n := len(rpt.Entries); n >= 2 {
+		base, cur := rpt.Entries[0], rpt.Entries[n-1]
+		if base.AvgImprovementPct != cur.AvgImprovementPct {
+			fmt.Printf("note: %q and %q have different determinism checksums; speedup below compares different experiments\n",
+				base.Label, cur.Label)
+		}
+		fmt.Printf("speedup vs %s: %.2fx\n", base.Label, base.MinSeconds/cur.MinSeconds)
+	}
+}
+
+// pool returns the Figure 10 bench pool: six SPEC profiles spanning every
+// behaviour class (15 four-benchmark mixes), matching bench_test.go.
+func pool() []workload.Profile {
+	var out []workload.Profile
+	for _, n := range []string{"mcf", "omnetpp", "libquantum", "hmmer", "povray", "gobmk"} {
+		p, err := workload.ByName(n)
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func load(path string) Report {
+	rpt := Report{
+		Benchmark: "Figure10 sweep: 6-benchmark SPEC pool, 4-per-mix, Quick scale, WIG policy",
+		Protocol:  "N reps in one process, minimum wall time reported; run baseline and candidate builds in one quiet window and compare min_seconds",
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rpt
+	}
+	if err := json.Unmarshal(buf, &rpt); err != nil {
+		fatal(fmt.Errorf("%s exists but is not a bench report: %w", path, err))
+	}
+	return rpt
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -16,12 +16,16 @@
 //	-seed N       workload seed
 //	-workers N    simulation parallelism (default GOMAXPROCS)
 //	-pool a,b,c   restrict the benchmark pool for fig10/fig11/fig12
+//	-cpuprofile f write a CPU profile of the experiment to f
+//	-memprofile f write an end-of-run heap profile to f
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,11 +41,43 @@ func main() {
 	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
 	workers := flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
 	poolFlag := flag.String("pool", "", "comma-separated benchmark subset for the sweeps")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
+	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile shows retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
 	}
 
 	cfg := experiments.Default()
@@ -140,7 +176,7 @@ func main() {
 	if !run(name) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 		usage()
-		os.Exit(2)
+		os.Exit(2) // nothing ran, so the skipped profile defers lose nothing
 	}
 }
 

@@ -1,0 +1,49 @@
+package bloom
+
+import "testing"
+
+// BenchmarkUnitOnFill measures the signature unit's fill-event handler under
+// the default §5.4 configuration (25% set sampling, 3-bit counters) on a
+// CoreDuo-shaped L2 (4096 sets × 16 ways). The engine invokes OnFill from
+// the L2 listener on every fill of a sampled set, so this is the per-miss
+// hardware-model overhead.
+//
+//   - sampled:   every event lands in a monitored set (worst case)
+//   - unsampled: every event lands in an unmonitored set (sampleMask
+//     early-out — the common case at SampleRate 4)
+//   - fillEvict: matched fill/evict pairs on sampled sets, the steady-state
+//     mix a full cache produces
+func BenchmarkUnitOnFill(b *testing.B) {
+	g := Geometry{Sets: 4096, Ways: 16}
+	newUnit := func(b *testing.B) *Unit {
+		b.Helper()
+		return NewUnit(DefaultConfig(g, 2)) // NewUnit validates (panics on bad config)
+	}
+	b.Run("sampled", func(b *testing.B) {
+		u := newUnit(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			set := (i * 4) & (g.Sets - 1) // ≡ 0 mod SampleRate: monitored
+			u.OnFill(i&1, uint64(i)*2654435761, set, i&(g.Ways-1))
+		}
+	})
+	b.Run("unsampled", func(b *testing.B) {
+		u := newUnit(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			set := ((i*4)+1)&(g.Sets-1) | 1 // never ≡ 0 mod SampleRate
+			u.OnFill(i&1, uint64(i)*2654435761, set, i&(g.Ways-1))
+		}
+	})
+	b.Run("fillEvict", func(b *testing.B) {
+		u := newUnit(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			set := (i * 4) & (g.Sets - 1)
+			way := i & (g.Ways - 1)
+			addr := uint64(i) * 2654435761
+			u.OnFill(i&1, addr, set, way)
+			u.OnEvict(addr, set, way)
+		}
+	})
+}

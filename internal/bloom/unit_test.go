@@ -301,15 +301,6 @@ func TestOverheadFor(t *testing.T) {
 	}
 }
 
-func BenchmarkUnitOnFill(b *testing.B) {
-	g := Geometry{Sets: 4096, Ways: 16}
-	u := NewUnit(DefaultConfig(g, 2))
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		u.OnFill(i&1, uint64(i)*64, i&4095, i&15)
-	}
-}
-
 func BenchmarkUnitContextSwitch(b *testing.B) {
 	g := Geometry{Sets: 4096, Ways: 16}
 	u := NewUnit(DefaultConfig(g, 2))

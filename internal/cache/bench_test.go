@@ -1,0 +1,65 @@
+package cache
+
+import "testing"
+
+// benchAddrs builds a deterministic address stream over `lines` distinct
+// cache lines using a fixed-stride walk that touches every set.
+func benchAddrs(n int, lines uint64) []uint64 {
+	addrs := make([]uint64, n)
+	var x uint64
+	for i := range addrs {
+		// 64-byte lines; the odd multiplier cycles through all `lines`
+		// residues, spreading accesses across sets deterministically.
+		addrs[i] = (x % lines) * 64
+		x += 2654435761 % lines
+	}
+	return addrs
+}
+
+// BenchmarkCacheAccess measures the simulator's innermost operation: one
+// load against a single cache. The sub-benchmarks pin the two regimes that
+// dominate simulation time — the L1-shaped hit path (8-way, working set
+// resident) and the L2-shaped mixed path (16-way, working set 4× capacity,
+// so the miss/evict/fill path runs constantly).
+func BenchmarkCacheAccess(b *testing.B) {
+	b.Run("hit8way", func(b *testing.B) {
+		c := New(Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8})
+		lines := uint64(c.cfg.Lines()) // resident: every access hits after warm-up
+		addrs := benchAddrs(4096, lines)
+		for _, a := range addrs {
+			c.Access(0, a)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Access(0, addrs[i&4095])
+		}
+	})
+	b.Run("miss16way", func(b *testing.B) {
+		c := New(Config{SizeBytes: 256 << 10, LineBytes: 64, Ways: 16})
+		lines := uint64(c.cfg.Lines()) * 4 // 4× capacity: mostly misses
+		addrs := benchAddrs(4096, lines)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Access(0, addrs[i&4095])
+		}
+	})
+}
+
+// TestAccessHitPathAllocFree pins the zero-allocation property of the hot
+// path: once a core's stats row exists, neither hits nor misses (including
+// the eviction/fill path) may allocate.
+func TestAccessHitPathAllocFree(t *testing.T) {
+	c := New(Config{SizeBytes: 8 << 10, LineBytes: 64, Ways: 8})
+	addrs := benchAddrs(1024, uint64(c.cfg.Lines())*2)
+	c.Access(0, 0) // materialise the core-0 stats row
+	i := 0
+	avg := testing.AllocsPerRun(2048, func() {
+		c.Access(0, addrs[i&1023])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("Access allocated %.2f times per call; want 0", avg)
+	}
+}

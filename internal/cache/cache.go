@@ -227,10 +227,16 @@ func (c *Cache) setOf(lineAddr uint64) int { return int(lineAddr & c.setMask) }
 
 // growPerCore extends the per-core stats slice to cover core with a single
 // allocation (the previous version re-walked and appended one element at a
-// time). Out of line so the Access fast path stays small enough to inline
-// the bounds check.
+// time). Growth is amortized-doubling: cores typically arrive in ascending
+// order, and sizing to exactly core+1 would copy the whole table once per
+// new core — O(n²) over n cores. Out of line so the Access fast path stays
+// small enough to inline the bounds check.
 func (c *Cache) growPerCore(core int) {
-	grown := make([]Stats, core+1)
+	n := core + 1
+	if d := 2 * len(c.perCore); d > n {
+		n = d
+	}
+	grown := make([]Stats, n)
 	copy(grown, c.perCore)
 	c.perCore = grown
 }
@@ -268,17 +274,36 @@ func (c *Cache) AccessFast(core int, addr uint64) bool {
 	tag := lineAddr + 1
 	set := int(lineAddr & c.setMask)
 	base := set * c.ways
-	// Valid ways are a prefix of the row (fills consume ways in index
-	// order), so the scan is bounded by the valid count and needs no
-	// per-way invalid test.
+	if c.lruOrder {
+		// MRU-first probe: tag positions are static in the nibble scheme
+		// (only the order word moves), so the most recently used way is one
+		// load away — and an MRU hit needs no reordering. Re-referenced
+		// lines are the common case on the L1, so this skips the scan far
+		// more often than the extra compare costs. An empty or cold slot
+		// holds tag 0, which can never match (tags are lineAddr+1 > 0).
+		o := c.order[set]
+		if c.tags[base+int(o&0xF)] == tag {
+			return true
+		}
+		// Valid ways are a prefix of the row (fills consume ways in index
+		// order), so the scan is bounded by the valid count and needs no
+		// per-way invalid test. A hit here is never the MRU way (probed
+		// above), so it always promotes.
+		row := c.tags[base : base+int(c.valid[set])]
+		for w := range row {
+			if row[w] == tag {
+				c.order[set] = promote(o, w)
+				return true
+			}
+		}
+		c.fillMiss(core, lineAddr, set, base)
+		return false
+	}
 	row := c.tags[base : base+int(c.valid[set])]
 	for w := range row {
 		if row[w] == tag {
-			if c.lruOrder {
-				if o := c.order[set]; o&0xF != uint64(w) {
-					c.order[set] = promote(o, w)
-				}
-			} else if c.cfg.Replace == LRU {
+			if c.cfg.Replace == LRU {
+				// Timestamp LRU (ways > 16): stamp the hit way.
 				c.clock++
 				c.used[base+w] = c.clock
 			}

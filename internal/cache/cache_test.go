@@ -179,6 +179,55 @@ func TestResetStatsKeepsContents(t *testing.T) {
 	}
 }
 
+// TestPerCoreStatsGrowth is the regression test for the stats-table growth
+// path: rows must survive growth to much higher core indices (including
+// out-of-order arrival and the amortized-doubling over-allocation), survive
+// ResetStats without losing their slots, and never bleed between cores.
+func TestPerCoreStatsGrowth(t *testing.T) {
+	c := New(Config{SizeBytes: 1024 * 64, LineBytes: 64, Ways: 4})
+	// Ascending arrival: one miss per core, across a growth boundary.
+	for core := 0; core < 33; core++ {
+		c.Access(core, uint64(core)*64)
+	}
+	for core := 0; core < 33; core++ {
+		if s := c.CoreStats(core); s.Misses != 1 || s.Hits != 0 {
+			t.Fatalf("core %d stats after growth = %+v, want 1 miss", core, s)
+		}
+	}
+	// Out-of-order, far-beyond-current-length arrival.
+	c.Access(200, 64*1000)
+	c.Access(100, 64*1001)
+	if s := c.CoreStats(200); s.Misses != 1 {
+		t.Fatalf("core 200 stats = %+v", s)
+	}
+	if s := c.CoreStats(100); s.Misses != 1 {
+		t.Fatalf("core 100 stats = %+v", s)
+	}
+	// The over-allocated tail rows read as zero, exactly like unseen cores.
+	if s := c.CoreStats(150); s != (Stats{}) {
+		t.Fatalf("untouched core 150 stats = %+v, want zero", s)
+	}
+	// ResetStats keeps the rows: accounting resumes at the same indices.
+	c.ResetStats()
+	if s := c.CoreStats(200); s != (Stats{}) {
+		t.Fatalf("core 200 stats after reset = %+v, want zero", s)
+	}
+	c.Access(200, 64*1000) // line is resident: a pure hit
+	s := c.CoreStats(200)
+	if s.Hits != 1 || s.Misses != 0 {
+		t.Fatalf("core 200 stats after reset+hit = %+v, want 1 hit", s)
+	}
+	if s := c.CoreStats(100); s != (Stats{}) {
+		t.Fatalf("core 100 bled counts from core 200: %+v", s)
+	}
+	// The batch-credit entry point grows the table too.
+	c2 := New(Config{SizeBytes: 1024 * 64, LineBytes: 64, Ways: 4})
+	c2.AddCoreStats(64, 10, 3)
+	if s := c2.CoreStats(64); s.Hits != 10 || s.Misses != 3 || s.Accesses != 13 {
+		t.Fatalf("AddCoreStats(64) = %+v", s)
+	}
+}
+
 func TestMissRate(t *testing.T) {
 	var s Stats
 	if s.MissRate() != 0 {

@@ -1,0 +1,38 @@
+package engine
+
+import (
+	"testing"
+
+	"symbiosched/internal/kernel"
+	"symbiosched/internal/workload"
+)
+
+// BenchmarkEngineStep measures end-to-end dispatch throughput: one op
+// advances a two-core CoreDuo machine by a 50k-cycle horizon chunk, running
+// a cache-hungry/compute-bound pair (mcf + povray) at test scale. This sits
+// one level above BenchmarkCacheAccess/BenchmarkGeneratorNext and covers the
+// batch loop, quantum accounting and core dispatch; the reported instr/op
+// metric is the simulated instructions retired per chunk.
+func BenchmarkEngineStep(b *testing.B) {
+	var profiles []workload.Profile
+	for _, name := range []string{"mcf", "povray"} {
+		p, err := workload.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	procs := kernel.Workload(profiles, 1, workload.TestScale)
+	m := New(DefaultConfig(), procs)
+	m.DistributeRoundRobin()
+	const chunk = 50_000
+	b.ReportAllocs()
+	b.ResetTimer()
+	var horizon, instr uint64
+	for i := 0; i < b.N; i++ {
+		horizon += chunk
+		res := m.Run(RunOptions{Horizon: horizon})
+		instr += res.Instructions
+	}
+	b.ReportMetric(float64(instr)/float64(b.N), "instr/op")
+}

@@ -41,6 +41,15 @@ type Config struct {
 	// AccessHook, if set, observes every memory access after it resolves
 	// (instrumentation for footprint ground truth; nil in normal runs).
 	AccessHook func(core int, lineAddr uint64, level cache.Level)
+	// DisableSignature leaves the signature units detached from the L2s:
+	// fills and evictions skip the Bloom-filter maintenance entirely and
+	// ContextSwitch captures empty signatures. For runs whose signatures
+	// nobody reads — phase-2 run-to-completion under a fixed mapping — the
+	// hardware model is dead weight (its events have no timing cost and no
+	// effect on any reported metric), and detaching it measurably speeds up
+	// the sweeps. Runs that feed a policy (phase 1, the monitor loop) must
+	// keep it off.
+	DisableSignature bool
 	// Background models periodic service activity — hypervisor/Dom0 work or
 	// OS housekeeping. Every Period cycles each busy core executes Ops
 	// instructions from its own background generator: the work consumes
@@ -158,7 +167,9 @@ func New(cfg Config, procs []*kernel.Process) *Machine {
 	for _, l2 := range m.hier.L2s() {
 		u := bloom.NewUnit(cfg.Signature)
 		m.units = append(m.units, u)
-		l2.SetUnit(u)
+		if !cfg.DisableSignature {
+			l2.SetUnit(u)
+		}
 	}
 	if cfg.Background.enabled() {
 		for c := range m.cores {

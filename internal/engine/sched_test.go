@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"testing"
+
+	"symbiosched/internal/cache"
+	"symbiosched/internal/kernel"
+	"symbiosched/internal/workload"
+)
+
+func schedProfiles(t *testing.T, names ...string) []workload.Profile {
+	t.Helper()
+	var out []workload.Profile
+	for _, n := range names {
+		p, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestRunEmptyMachine pins the all-idle edge case: a machine with no threads
+// has no runnable core, pickCore reports -1, and Run — with or without a
+// horizon — terminates immediately instead of spinning.
+func TestRunEmptyMachine(t *testing.T) {
+	m := New(DefaultConfig(), nil)
+	if c := m.pickCore(); c != -1 {
+		t.Fatalf("pickCore on empty machine = %d, want -1", c)
+	}
+	res := m.Run(RunOptions{})
+	if !res.AllDone || res.Cycles != 0 || res.Instructions != 0 {
+		t.Fatalf("empty Run = %+v, want all-done at cycle 0", res)
+	}
+	// A horizon must not keep the loop alive either (the `c < 0` break).
+	if res := m.Run(RunOptions{Horizon: 1 << 20}); res.Cycles != 0 {
+		t.Fatalf("empty Run with horizon advanced to cycle %d", res.Cycles)
+	}
+}
+
+// TestSingleRunnableCore pins every thread to core 1 of 2: the dispatch
+// index must contain exactly that core, core 0 must never run (or switch),
+// and the simulation still makes progress.
+func TestSingleRunnableCore(t *testing.T) {
+	procs := kernel.Workload(schedProfiles(t, "povray", "gobmk"), 7, workload.TestScale)
+	m := New(DefaultConfig(), procs)
+	m.SetAffinities([]int{1, 1})
+	if len(m.runnable) != 1 || m.runnable[0] != 1 {
+		t.Fatalf("runnable = %v, want [1]", m.runnable)
+	}
+	if c := m.pickCore(); c != 1 {
+		t.Fatalf("pickCore = %d, want 1", c)
+	}
+	// The reshuffle itself captures a signature on core 0 (threads default
+	// there before pinning); only switches during the run below count.
+	switches0 := m.cores[0].switches
+	res := m.Run(RunOptions{Horizon: 500_000})
+	if res.Instructions == 0 {
+		t.Fatal("single-core machine retired nothing")
+	}
+	if m.cores[0].time != 0 && m.cores[0].time != m.cores[1].time {
+		// Core 0 is idle: it may only ever hold the alignment clock.
+		t.Fatalf("idle core advanced independently: core0=%d core1=%d",
+			m.cores[0].time, m.cores[1].time)
+	}
+	if m.cores[0].switches != switches0 {
+		t.Fatalf("idle core performed %d context switches during the run",
+			m.cores[0].switches-switches0)
+	}
+	for _, p := range procs {
+		for _, th := range p.Threads {
+			if th.Affinity != 1 {
+				t.Fatalf("thread drifted to core %d", th.Affinity)
+			}
+		}
+	}
+}
+
+// TestReshuffleMidQuantumKeepsSignature exercises the partial-quantum branch
+// of rebuildQueues: a reshuffle that interrupts a quantum before its halfway
+// point must keep the thread's previous full-quantum signature (a short
+// slice under-measures the footprint), while a first-ever signature is taken
+// regardless, and a reshuffle past the halfway point replaces it.
+func TestReshuffleMidQuantumKeepsSignature(t *testing.T) {
+	const quantum = 1 << 20
+	cfg := DefaultConfig()
+	cfg.QuantumCycles = quantum
+	procs := kernel.Workload(schedProfiles(t, "mcf", "omnetpp"), 7, workload.TestScale)
+	m := New(cfg, procs)
+	m.DistributeRoundRobin()
+	t0 := m.threads[0]
+
+	// Short partial quantum, no prior signature: the nil arm takes it anyway.
+	m.Run(RunOptions{Horizon: quantum / 4})
+	m.SetAffinities([]int{1, 0}) // swap → reshuffle
+	sig1 := t0.Sig
+	if sig1 == nil {
+		t.Fatal("first reshuffle left no signature despite Sig==nil arm")
+	}
+
+	// Another short partial quantum (< half of the fresh slice the reshuffle
+	// granted): the previous signature must survive.
+	m.Run(RunOptions{Horizon: quantum/4 + quantum/8})
+	m.SetAffinities([]int{0, 1}) // swap back
+	if t0.Sig != sig1 {
+		t.Fatal("sub-half-quantum reshuffle replaced the signature")
+	}
+
+	// Run well past the halfway point of the new quantum: now it replaces.
+	m.Run(RunOptions{Horizon: quantum/4 + quantum/8 + (3*quantum)/4})
+	m.SetAffinities([]int{1, 0})
+	if t0.Sig == sig1 {
+		t.Fatal("post-half-quantum reshuffle kept the stale signature")
+	}
+}
+
+// TestPickCoreHeapMatchesLinear runs the same 12-core workload through the
+// heap dispatcher and the linear scan: both must produce identical dispatch
+// order, hence identical clocks, user times and retirement counts. (12
+// runnable cores exceeds pickCoreLinearMax, so the heap engages naturally;
+// the twin has it forced off.)
+func TestPickCoreHeapMatchesLinear(t *testing.T) {
+	hier := cache.HierarchyConfig{
+		Cores:    12,
+		L1:       cache.Config{SizeBytes: 8 << 10, LineBytes: 64, Ways: 4},
+		L2:       cache.Config{SizeBytes: 256 << 10, LineBytes: 64, Ways: 8},
+		SharedL2: true,
+	}
+	names := []string{"mcf", "omnetpp", "libquantum", "hmmer", "povray", "gobmk",
+		"mcf", "omnetpp", "libquantum", "hmmer", "povray", "gobmk"}
+	build := func() *Machine {
+		cfg := DefaultConfig()
+		cfg.Hierarchy = hier
+		m := New(cfg, kernel.Workload(schedProfiles(t, names...), 11, workload.TestScale))
+		m.DistributeRoundRobin()
+		return m
+	}
+	mh, ml := build(), build()
+	if !mh.useHeap {
+		t.Fatalf("12 runnable cores should engage the heap (max linear %d)", pickCoreLinearMax)
+	}
+	ml.useHeap = false // force the linear scan on the twin
+	rh := mh.Run(RunOptions{Horizon: 300_000})
+	rl := ml.Run(RunOptions{Horizon: 300_000})
+	if rh != rl {
+		t.Fatalf("heap dispatch diverged from linear: %+v vs %+v", rh, rl)
+	}
+	for c := range mh.cores {
+		if mh.cores[c].time != ml.cores[c].time {
+			t.Fatalf("core %d clock: heap %d, linear %d", c, mh.cores[c].time, ml.cores[c].time)
+		}
+	}
+	for i := range mh.threads {
+		if mh.threads[i].UserCycles != ml.threads[i].UserCycles {
+			t.Fatalf("thread %d user time: heap %d, linear %d",
+				i, mh.threads[i].UserCycles, ml.threads[i].UserCycles)
+		}
+	}
+}

@@ -56,7 +56,11 @@ func EnumerateMappings(n, cores int) []alloc.Mapping {
 // ExpandToThreads converts a process-level mapping into a thread-level
 // affinity vector: every thread of process p goes to procMap[p].
 func ExpandToThreads(procMap alloc.Mapping, procs []*kernel.Process) []int {
-	var aff []int
+	n := 0
+	for _, p := range procs {
+		n += len(p.Threads)
+	}
+	aff := make([]int, 0, n)
 	for i, p := range procs {
 		for range p.Threads {
 			aff = append(aff, procMap[i])
@@ -85,7 +89,12 @@ func (c Config) RunMapping(profiles []workload.Profile, aff []int, v *VirtSpec) 
 		m = sys.Machine
 	} else {
 		procs = kernel.Workload(profiles, c.Seed, c.Scale())
-		m = engine.New(c.EngineConfig(), procs)
+		ec := c.EngineConfig()
+		// Phase 2 runs under a fixed mapping to completion: no policy ever
+		// reads a signature, so the unit stays detached (identical results,
+		// no Bloom-filter maintenance on every L2 fill/evict).
+		ec.DisableSignature = true
+		m = engine.New(ec, procs)
 	}
 	m.SetAffinities(aff)
 	res := m.Run(engine.RunOptions{})

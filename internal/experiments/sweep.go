@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"sort"
 
 	"symbiosched/internal/alloc"
@@ -57,32 +58,58 @@ type ImprovementReport struct {
 }
 
 // Overall returns the average improvement across every (mix, benchmark)
-// observation — the paper's headline "22% average" style number.
+// observation — the paper's headline "22% average" style number. The
+// aggregate streams over the per-benchmark slices in place; no flattened
+// copy is built (these run inside report loops and benchmark assertions).
 func (r ImprovementReport) Overall() float64 {
-	var all []float64
+	var sum float64
+	var n int
 	for _, b := range r.Benchmarks {
-		all = append(all, b.Improvements...)
+		for _, x := range b.Improvements {
+			sum += x
+		}
+		n += len(b.Improvements)
 	}
-	return metrics.Mean(all)
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
-// MaxOverall returns the largest single improvement observed.
+// MaxOverall returns the largest single improvement observed (0 when there
+// are no observations, matching metrics.Max).
 func (r ImprovementReport) MaxOverall() float64 {
-	var all []float64
+	m := math.Inf(-1)
+	seen := false
 	for _, b := range r.Benchmarks {
-		all = append(all, b.Improvements...)
+		for _, x := range b.Improvements {
+			if x > m {
+				m = x
+			}
+			seen = true
+		}
 	}
-	return metrics.Max(all)
+	if !seen {
+		return 0
+	}
+	return m
 }
 
 // OracleOverall returns the mean perfect-hindsight improvement across every
 // (mix, benchmark) observation: the ceiling for Overall.
 func (r ImprovementReport) OracleOverall() float64 {
-	var all []float64
+	var sum float64
+	var n int
 	for _, b := range r.Benchmarks {
-		all = append(all, b.Oracle...)
+		for _, x := range b.Oracle {
+			sum += x
+		}
+		n += len(b.Oracle)
 	}
-	return metrics.Mean(all)
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
 // Table renders the report in the paper's per-benchmark max/avg format.
@@ -188,7 +215,11 @@ func (c Config) candidatesFor(mix []workload.Profile) []alloc.Mapping {
 }
 
 func expandSizes(procMap alloc.Mapping, sizes []int) alloc.Mapping {
-	var aff alloc.Mapping
+	n := 0
+	for _, s := range sizes {
+		n += s
+	}
+	aff := make(alloc.Mapping, 0, n)
 	for i, s := range sizes {
 		for t := 0; t < s; t++ {
 			aff = append(aff, procMap[i])

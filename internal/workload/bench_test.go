@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+// TestRecipMatchesDivide pins the exact-reciprocal run-length computation
+// against the hardware divide it replaces: for every divisor in the magic's
+// validity range (d > 2^44) and every numerator NextRun can produce
+// (n < 2^54), floor(n·M >> 108) must equal n/d. The property holds by the
+// Granlund–Montgomery argument in NewGenerator; this checks the argument.
+func TestRecipMatchesDivide(t *testing.T) {
+	check := func(n, d uint64) bool {
+		q, r := bits.Div64(1<<44, 0, d)
+		if r != 0 {
+			q++
+		}
+		hi, _ := bits.Mul64(n, q)
+		return hi>>44 == n/d
+	}
+	// Boundary divisors and numerators.
+	for _, d := range []uint64{1<<44 + 1, 1<<44 + 2, 1<<53 - 1, 1 << 53} {
+		for _, n := range []uint64{1, d - 1, d, d + 1, 1<<54 - 1, oneQ53, oneQ53 + d - 1} {
+			if !check(n, d) {
+				t.Fatalf("reciprocal diverges at n=%d d=%d", n, d)
+			}
+		}
+	}
+	f := func(nRaw, dRaw uint64) bool {
+		n := nRaw % (1 << 54)
+		d := 1<<44 + 1 + dRaw%(1<<53-1<<44) // (2^44, 2^53]
+		return check(n, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkGeneratorNext measures the synthetic reference generator — the
+// single hottest leaf of the whole simulator (every simulated instruction
+// passes through it). "mcf" exercises the flattened stack fast path
+// (stacked pattern over a random body); "canneal" adds the shared-region
+// draw that multi-threaded PARSEC profiles take.
+func BenchmarkGeneratorNext(b *testing.B) {
+	gen := func(b *testing.B, name string) *Generator {
+		b.Helper()
+		prof, err := ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return prof.NewThreads(1, 42, 1)[0]
+	}
+	for _, name := range []string{"mcf", "canneal"} {
+		b.Run("Next/"+name, func(b *testing.B) {
+			g := gen(b, name)
+			b.ReportAllocs()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink += g.Next().Addr
+			}
+			_ = sink
+		})
+		b.Run("NextRun/"+name, func(b *testing.B) {
+			g := gen(b, name)
+			b.ReportAllocs()
+			var instr, sink uint64
+			for i := 0; i < b.N; i++ {
+				skipped, addr, mem := g.NextRun(256)
+				instr += uint64(skipped)
+				if mem {
+					instr++
+					sink += addr
+				}
+			}
+			_ = sink
+			b.ReportMetric(float64(instr)/float64(b.N), "instr/op")
+		})
+	}
+}

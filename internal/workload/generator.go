@@ -1,5 +1,7 @@
 package workload
 
+import "math/bits"
+
 // Ref is one dynamic instruction emitted by a Generator: either a compute
 // operation (Mem false) or a memory access at Addr.
 type Ref struct {
@@ -39,6 +41,8 @@ type Generator struct {
 	memRatio     float64
 	ratioQ53     uint64 // memRatio · 2^53, exact
 	accQ53       uint64 // fractional accumulator in Q53
+	recipM       uint64 // ⌈2^108/ratioQ53⌉: exact-reciprocal magic (recipOK)
+	recipOK      bool   // ratioQ53 > 2^44, so recipM fits and the trick is exact
 	base         uint64 // private-region base address (address-space separation)
 	sharedBase   uint64 // shared-region base address
 	rng          *Rand
@@ -88,6 +92,23 @@ func NewGenerator(cfg GeneratorConfig) *Generator {
 		base:         cfg.Base,
 		sharedBase:   cfg.SharedBase,
 		rng:          NewRand(cfg.Seed),
+	}
+	// Precompute the exact reciprocal of the (generator-constant) Bresenham
+	// divisor so NextRun's closed-form run length is a multiply instead of a
+	// hardware divide. M = ⌈2^108/d⌉ makes floor(n·M/2^108) = floor(n/d)
+	// exactly for every n < 2^54 (Granlund–Montgomery style): writing
+	// M·d = 2^108 + e with 0 ≤ e < d, the error term n·e/(d·2^108) is
+	// non-negative and < 2^54/2^108 = 2^-54, while a non-integer n/d sits at
+	// least 1/d ≥ 2^-53 below the next integer — the floor cannot move.
+	// M fits in 64 bits only for d > 2^44 (memRatio > 2^-9; every profile
+	// qualifies); smaller ratios keep the divide.
+	if d := g.ratioQ53; d > 1<<44 {
+		q, r := bits.Div64(1<<44, 0, d) // floor(2^108 / d), remainder
+		if r != 0 {
+			q++
+		}
+		g.recipM = q
+		g.recipOK = true
 	}
 	// Devirtualize the stackedPattern composition: its stack component is
 	// always a uniform RandomPattern, so the generator performs the
@@ -175,7 +196,17 @@ func (g *Generator) NextRun(limit int) (skipped int, addr uint64, mem bool) {
 	acc := g.accQ53
 	ratio := g.ratioQ53
 	if acc+ratio < oneQ53 { // k > 1: solve for the run length
-		k := (oneQ53 - acc + ratio - 1) / ratio
+		n := oneQ53 - acc + ratio - 1
+		var k uint64
+		if g.recipOK {
+			// Exact n/ratio via the precomputed reciprocal (see
+			// NewGenerator): mulhi + shift instead of a 64-bit divide on
+			// every memory operation.
+			hi, _ := bits.Mul64(n, g.recipM)
+			k = hi >> 44
+		} else {
+			k = n / ratio
+		}
 		if k > uint64(limit) {
 			g.accQ53 = acc + uint64(limit)*ratio
 			return limit, 0, false

@@ -435,15 +435,6 @@ func TestScaleBytesQuick(t *testing.T) {
 	}
 }
 
-func BenchmarkGeneratorNext(b *testing.B) {
-	p, _ := ByName("mcf")
-	g := p.NewThreads(1, 1, 16)[0]
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		g.Next()
-	}
-}
-
 func TestMixPattern(t *testing.T) {
 	p := &MixPattern{
 		A:       &RandomPattern{Region: 1024},
