@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race benchsmoke bench clean
+.PHONY: ci vet build test race shardcheck benchsmoke bench clean
 
-ci: vet build race benchsmoke
+ci: vet build race shardcheck benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -16,10 +16,17 @@ build:
 test:
 	$(GO) test ./...
 
-# Race mode exercises the experiments.parallel worker pool and the engine's
-# per-mix fan-out — the only concurrency in the tree.
+# Race mode exercises the sweep-wide work-stealing pool (per-worker deques,
+# steal path, sleep/wake protocol) and the per-worker arena reuse — the only
+# concurrency in the tree. TestSchedulerStress is the dedicated hammer.
 race:
 	$(GO) test -race ./...
+
+# The sharding contract, run explicitly (and uncached) as its own CI gate: a
+# 3-way sharded sweep must merge byte-identically to the single-process run,
+# and results must not depend on the worker count.
+shardcheck:
+	$(GO) test -count=1 -run 'TestShardMergeEquivalence|TestWorkersInvariance' ./internal/experiments
 
 # One iteration of every benchmark: catches bit-rot in the bench suite (and
 # regenerates each figure once) without committing to real measurement time.

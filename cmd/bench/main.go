@@ -61,11 +61,37 @@ func main() {
 	out := flag.String("out", "", "JSON artifact path (default results/BENCH_<date>.json); appended to if it exists")
 	note := flag.String("note", "", "free-form provenance note stored with the entry")
 	mixSize := flag.Int("mixsize", 4, "benchmarks per mix")
+	shards := flag.Int("shards", 1, "run the sweep as N sequential in-process shards and merge them (1 = direct sweep); exercises the shard protocol end to end")
 	flag.Parse()
 
 	cfg := experiments.Quick()
 	pool := pool()
 	policy := alloc.WeightedInterferenceGraph{}
+
+	// runSweep is one rep: either the direct sweep or the full shard
+	// protocol (SweepShard × N + MergeShards). Both must produce identical
+	// determinism checksums — a -shards entry that disagrees with a direct
+	// entry indicates a broken merge, not a different experiment.
+	runSweep := func() experiments.ImprovementReport {
+		if *shards <= 1 {
+			return cfg.Sweep(pool, policy, *mixSize, nil)
+		}
+		parts := make([]experiments.Shard, *shards)
+		for i := range parts {
+			sc := cfg
+			sc.ShardIndex, sc.ShardTotal = i, *shards
+			s, err := sc.SweepShard(pool, policy, *mixSize, nil)
+			if err != nil {
+				fatal(err)
+			}
+			parts[i] = s
+		}
+		rep, err := experiments.MergeShards(parts)
+		if err != nil {
+			fatal(err)
+		}
+		return rep
+	}
 
 	e := Entry{
 		Label:      *label,
@@ -75,9 +101,17 @@ func main() {
 		MinSeconds: -1,
 		Note:       *note,
 	}
+	if *shards > 1 {
+		tag := fmt.Sprintf("sharded %d-way in process, merged", *shards)
+		if e.Note == "" {
+			e.Note = tag
+		} else {
+			e.Note += "; " + tag
+		}
+	}
 	for i := 0; i < *reps; i++ {
 		start := time.Now()
-		rep := cfg.Sweep(pool, policy, *mixSize, nil)
+		rep := runSweep()
 		secs := time.Since(start).Seconds()
 		e.Reps = append(e.Reps, secs)
 		if e.MinSeconds < 0 || secs < e.MinSeconds {

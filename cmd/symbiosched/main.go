@@ -16,8 +16,16 @@
 //	-seed N       workload seed
 //	-workers N    simulation parallelism (default GOMAXPROCS)
 //	-pool a,b,c   restrict the benchmark pool for fig10/fig11/fig12
+//	-progress     print live task throughput and worker utilization to stderr
 //	-cpuprofile f write a CPU profile of the experiment to f
 //	-memprofile f write an end-of-run heap profile to f
+//
+// Cross-machine sharding (fig10/fig11/fig12 only — see EXPERIMENTS.md):
+//
+//	symbiosched -shard 0/3 -out s0.json fig10   # on machine 0
+//	symbiosched -shard 1/3 -out s1.json fig10   # on machine 1
+//	symbiosched -shard 2/3 -out s2.json fig10   # on machine 2
+//	symbiosched -merge 's*.json'                # anywhere: the full figure
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"symbiosched/internal/experiments"
@@ -41,11 +50,15 @@ func main() {
 	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
 	workers := flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
 	poolFlag := flag.String("pool", "", "comma-separated benchmark subset for the sweeps")
+	shardFlag := flag.String("shard", "", "run one sweep shard, as i/N (fig10/fig11/fig12 only)")
+	outFlag := flag.String("out", "", "shard output path (default <fig>-shard-<i>of<N>.json)")
+	mergeFlag := flag.String("merge", "", "merge shard files matching this glob and print the report")
+	progressFlag := flag.Bool("progress", false, "print live task throughput and worker utilization to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() != 1 && *mergeFlag == "" {
 		usage()
 		os.Exit(2)
 	}
@@ -89,6 +102,13 @@ func main() {
 	}
 	cfg.Workers = *workers
 
+	var prog *progress
+	if *progressFlag {
+		prog = newProgress(cfg)
+		cfg.OnTask = prog.onTask
+		defer prog.summary()
+	}
+
 	pool, err := parsePool(*poolFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -104,6 +124,28 @@ func main() {
 		default:
 			fmt.Println(t.String())
 		}
+	}
+
+	if *mergeFlag != "" {
+		report, shards, err := experiments.MergeShardFiles(*mergeFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, s := range shards {
+			fmt.Fprintf(os.Stderr, "shard %d/%d: combos [%d,%d) of %d, %d outcomes, %.1fs\n",
+				s.Index, s.Total, s.ComboLo, s.ComboHi, s.TotalCombos, len(s.Outcomes), s.ElapsedSeconds)
+		}
+		emit(report.Table())
+		return
+	}
+
+	if *shardFlag != "" {
+		if err := runShard(cfg, *shardFlag, flag.Arg(0), *outFlag, pool); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	run := func(name string) bool {
@@ -216,6 +258,99 @@ func poolOrNil(pool []workload.Profile, dflt []workload.Profile) []workload.Prof
 	return pool
 }
 
+// runShard parses "-shard i/N", runs that slice of the figure's sweep, and
+// writes the shard file.
+func runShard(cfg experiments.Config, shard, figure, out string, pool []workload.Profile) error {
+	var idx, total int
+	if n, err := fmt.Sscanf(shard, "%d/%d", &idx, &total); n != 2 || err != nil {
+		return fmt.Errorf("bad -shard %q: want i/N (e.g. 0/3)", shard)
+	}
+	spec, err := experiments.SweepSpecFor(figure)
+	if err != nil {
+		return err
+	}
+	if pool != nil {
+		// A restricted pool changes the combination space; the shard header's
+		// pool hash binds the merge to the same -pool on every machine.
+		spec.Pool = pool
+	}
+	cfg.ShardIndex, cfg.ShardTotal = idx, total
+	start := time.Now()
+	s, err := cfg.RunShard(spec)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		out = fmt.Sprintf("%s-shard-%dof%d.json", spec.Figure, idx, total)
+	}
+	if err := experiments.WriteShard(out, s); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: combos [%d,%d) of %d in %v\n",
+		out, s.ComboLo, s.ComboHi, s.TotalCombos, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// progress aggregates scheduler task completions into a live throughput line
+// (at most one per second, on stderr) and a final utilization summary.
+type progress struct {
+	workers int
+	start   time.Time
+
+	mu     sync.Mutex
+	last   time.Time
+	phase1 int
+	cands  int
+	steals int
+	busy   time.Duration
+}
+
+func newProgress(cfg experiments.Config) *progress {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &progress{workers: w, start: time.Now()}
+}
+
+// onTask is installed as Config.OnTask; it is called concurrently from the
+// scheduler's workers.
+func (p *progress) onTask(ti experiments.TaskInfo) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ti.Kind == experiments.TaskPhase1 {
+		p.phase1++
+	} else {
+		p.cands++
+	}
+	if ti.Stolen {
+		p.steals++
+	}
+	p.busy += ti.Duration
+	now := time.Now()
+	if now.Sub(p.last) < time.Second {
+		return
+	}
+	p.last = now
+	elapsed := now.Sub(p.start).Seconds()
+	fmt.Fprintf(os.Stderr, "progress: %d mixes profiled, %d candidates done, %.1f mixes/sec, %d stolen\n",
+		p.phase1, p.cands, float64(p.phase1)/elapsed, p.steals)
+}
+
+// summary prints the end-of-run totals: task counts, steal count, and
+// worker utilization (busy simulation time over workers × wall time).
+func (p *progress) summary() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	elapsed := time.Since(p.start)
+	if p.phase1+p.cands == 0 || elapsed <= 0 {
+		return
+	}
+	util := p.busy.Seconds() / (elapsed.Seconds() * float64(p.workers))
+	fmt.Fprintf(os.Stderr, "progress: total %d phase-1 + %d candidate tasks, %d stolen, %.0f%% worker utilization over %v\n",
+		p.phase1, p.cands, p.steals, 100*util, elapsed.Round(time.Millisecond))
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: symbiosched [flags] <experiment>
 
@@ -236,6 +371,10 @@ experiments:
   pairs      full pairwise degradation matrix (the data behind fig3b)
   list       the synthetic benchmark catalog
   all        everything above
+
+sharding (fig10/fig11/fig12):
+  -shard i/N <fig>   run combos [i*C/N,(i+1)*C/N) and write a shard file (-out)
+  -merge 'glob'      merge shard files into the figure's report (no experiment arg)
 
 flags:
 `)

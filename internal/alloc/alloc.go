@@ -14,6 +14,7 @@ package alloc
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"symbiosched/internal/graph"
 	"symbiosched/internal/kernel"
@@ -55,9 +56,45 @@ func (m Mapping) Canonical() Mapping {
 	return out
 }
 
-// Key renders the canonical mapping as a compact string usable as a map key.
+// Key renders the canonical mapping as a compact string usable as a map key,
+// in the same "[0 1 0 1]" format as fmt.Sprint of the canonical slice. The
+// common small-mapping case (the monitor calls this every period) runs
+// entirely on stack scratch and performs a single allocation for the string.
 func (m Mapping) Key() string {
-	return fmt.Sprint([]int(m.Canonical()))
+	const small = 32
+	if len(m) > small {
+		return fmt.Sprint([]int(m.Canonical()))
+	}
+	// Canonicalise into stack scratch: seen holds core labels in order of
+	// first appearance, so a linear scan doubles as the rename table.
+	var seen [small]int
+	var canon [small]int
+	next := 0
+	for i, c := range m {
+		r := -1
+		for j := 0; j < next; j++ {
+			if seen[j] == c {
+				r = j
+				break
+			}
+		}
+		if r < 0 {
+			r = next
+			seen[next] = c
+			next++
+		}
+		canon[i] = r
+	}
+	var buf [2 + 3*small]byte
+	out := append(buf[:0], '[')
+	for i := 0; i < len(m); i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = strconv.AppendInt(out, int64(canon[i]), 10)
+	}
+	out = append(out, ']')
+	return string(out)
 }
 
 // Policy maps monitor views to a thread→core mapping.

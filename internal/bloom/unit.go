@@ -129,6 +129,7 @@ type Unit struct {
 	counters []uint32
 	cf       []*bitvec.Vector // core filters, one per core
 	lf       []*bitvec.Vector // last filters (snapshots at context switch)
+	scratch  *bitvec.Vector   // reusable own-core mask buffer (ContextSwitchInto)
 
 	// Stats
 	Fills       uint64 // sampled fills observed
@@ -246,26 +247,41 @@ func (u *Unit) OnEvict(lineAddr uint64, set, way int) {
 // with its current core, and the §3.3 graph algorithms freeze in whatever
 // mapping they start from. See DESIGN.md.
 func (u *Unit) ContextSwitch(core int) *Signature {
-	cf := u.cf[core]
-	rbv := bitvec.New(u.entries)
-	rbv.AndNot(cf, u.lf[core])
+	return u.ContextSwitchInto(core, nil)
+}
 
-	sig := &Signature{
-		LastCore:  core,
-		Occupancy: rbv.PopCount(),
-		Symbiosis: make([]int, u.cfg.Cores),
-		Overlap:   make([]int, u.cfg.Cores),
-		RBV:       rbv,
+// ContextSwitchInto is ContextSwitch reusing the buffers of a previously
+// returned Signature: when reuse matches this unit's shape its RBV and
+// metric slices are overwritten in place and reuse itself is returned,
+// making the steady-state capture allocation-free (the OS reuses each
+// context's signature record rather than allocating a new one per switch,
+// exactly like real per-task kernel state). A nil or mismatched reuse falls
+// back to a fresh allocation. Callers must not pass a signature that other
+// code still aliases — the engine passes the descheduled thread's own
+// record, which is being replaced anyway.
+func (u *Unit) ContextSwitchInto(core int, reuse *Signature) *Signature {
+	cf := u.cf[core]
+	sig := reuse
+	if sig == nil || sig.RBV == nil || sig.RBV.Len() != u.entries ||
+		len(sig.Symbiosis) != u.cfg.Cores || len(sig.Overlap) != u.cfg.Cores {
+		sig = &Signature{
+			Symbiosis: make([]int, u.cfg.Cores),
+			Overlap:   make([]int, u.cfg.Cores),
+			RBV:       bitvec.New(u.entries),
+		}
 	}
-	var masked *bitvec.Vector
+	rbv := sig.RBV
+	rbv.AndNot(cf, u.lf[core])
+	sig.LastCore = core
+	sig.Occupancy = rbv.PopCount()
 	for j := 0; j < u.cfg.Cores; j++ {
 		if j == core {
-			if masked == nil {
-				masked = bitvec.New(u.entries)
+			if u.scratch == nil {
+				u.scratch = bitvec.New(u.entries)
 			}
-			masked.AndNot(cf, rbv)
-			sig.Symbiosis[j] = rbv.XorCount(masked)
-			sig.Overlap[j] = rbv.AndCount(masked)
+			u.scratch.AndNot(cf, rbv)
+			sig.Symbiosis[j] = rbv.XorCount(u.scratch)
+			sig.Overlap[j] = rbv.AndCount(u.scratch)
 		} else {
 			sig.Symbiosis[j] = rbv.XorCount(u.cf[j])
 			sig.Overlap[j] = rbv.AndCount(u.cf[j])
@@ -273,6 +289,15 @@ func (u *Unit) ContextSwitch(core int) *Signature {
 	}
 	u.lf[core].CopyFrom(cf)
 	return sig
+}
+
+// DiscardSwitch performs the §3.1 descheduling protocol when the OS is going
+// to throw the captured signature away (a reshuffle interrupting a short
+// partial quantum keeps the previous full-quantum record instead): the Last
+// Filter snapshot — the only state transition ContextSwitch performs — still
+// happens, but no RBV, popcounts or Signature are materialised.
+func (u *Unit) DiscardSwitch(core int) {
+	u.lf[core].CopyFrom(u.cf[core])
 }
 
 // CoreFilter returns a copy of core's CF (exposed for experiments that plot

@@ -138,7 +138,7 @@ type Cache struct {
 	order     []uint64 // per-set MRU→LRU nibble stack (ways ≤ 16)
 	orderInit uint64   // initial stack: victims pop in way order 0,1,2,…
 	useOrder  bool
-	lruOrder  bool // fused Replace==LRU && useOrder: one hit-path test
+	lruOrder  bool     // fused Replace==LRU && useOrder: one hit-path test
 	used      []uint64 // fill/use timestamps (fallback, ways > 16)
 	clock     uint64   // timestamp source for the fallback path
 	evictions uint64
@@ -147,6 +147,11 @@ type Cache struct {
 	listener  Listener    // generic observer (tests/instrumentation)
 	perCore   []Stats     // indexed by core; grown on demand
 }
+
+// rngSeed is the initial xorshift state for Random replacement; Reset
+// restores it so a reused cache replays the same victim sequence as a fresh
+// one.
+const rngSeed = 0x9e3779b97f4a7c15
 
 // New constructs a cache. It panics on an invalid geometry (machine
 // descriptions are programmer-supplied, not user input).
@@ -162,7 +167,7 @@ func New(cfg Config) *Cache {
 		ways:      cfg.Ways,
 		tags:      make([]uint64, cfg.Sets()*cfg.Ways),
 		valid:     make([]uint16, cfg.Sets()),
-		rng:       0x9e3779b97f4a7c15,
+		rng:       rngSeed,
 	}
 	if cfg.Ways <= 16 {
 		c.useOrder = true
@@ -486,6 +491,30 @@ func (c *Cache) Flush() {
 // re-growing after a reset.
 func (c *Cache) ResetStats() {
 	c.evictions = 0
+	for i := range c.perCore {
+		c.perCore[i] = Stats{}
+	}
+}
+
+// Reset returns the cache to its just-constructed state while keeping every
+// allocation: tags invalidated, recency stacks (or timestamps) re-initialised,
+// statistics and the replacement RNG reset. Unlike Flush, no eviction events
+// are reported — a reset models powering up a fresh machine, not running the
+// invalidation protocol — so an attached unit or listener sees nothing.
+//
+// The post-Reset cache is bit-for-bit equivalent to New(cfg): simulation
+// arenas rely on this to reuse one cache across runs without perturbing
+// determinism. Any new mutable field added to Cache must be reset here.
+func (c *Cache) Reset() {
+	clear(c.tags)
+	clear(c.valid)
+	for s := range c.order {
+		c.order[s] = c.orderInit
+	}
+	clear(c.used)
+	c.clock = 0
+	c.evictions = 0
+	c.rng = rngSeed
 	for i := range c.perCore {
 		c.perCore[i] = Stats{}
 	}

@@ -137,6 +137,18 @@ func (h *Hierarchy) Access(core int, addr uint64) Level {
 // a process moves between cores).
 func (h *Hierarchy) FlushL1(core int) { h.l1[core].Flush() }
 
+// Reset returns every cache in the hierarchy to its just-constructed state
+// (contents, recency, statistics) while keeping all allocations — the arena
+// reuse path. No eviction events are reported; see Cache.Reset.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.l1 {
+		c.Reset()
+	}
+	for _, c := range h.l2 {
+		c.Reset()
+	}
+}
+
 // ResetStats zeroes counters on every cache in the hierarchy.
 func (h *Hierarchy) ResetStats() {
 	for _, c := range h.l1 {

@@ -43,7 +43,8 @@ type Config struct {
 	AccessHook func(core int, lineAddr uint64, level cache.Level)
 	// DisableSignature leaves the signature units detached from the L2s:
 	// fills and evictions skip the Bloom-filter maintenance entirely and
-	// ContextSwitch captures empty signatures. For runs whose signatures
+	// context switches capture no signature at all (threads keep Sig nil,
+	// so a snapshot would report HasSig false). For runs whose signatures
 	// nobody reads — phase-2 run-to-completion under a fixed mapping — the
 	// hardware model is dead weight (its events have no timing cost and no
 	// effect on any reported metric), and detaching it measurably speeds up
@@ -181,6 +182,35 @@ func New(cfg Config, procs []*kernel.Process) *Machine {
 	return m
 }
 
+// Reset rewinds the machine to its just-constructed state and installs a new
+// process set, reusing every allocation: cache arrays, recency order words,
+// signature filters and per-core statistics tables all keep their storage.
+// After Reset the machine is observationally identical to New(cfg, procs) —
+// the invariant the sweep arenas rely on to amortise construction across
+// thousands of runs; any new mutable field added to Machine or coreState
+// must be reset here. Initial affinities are taken from each thread's
+// Affinity field, exactly as in New. Per-core background generators are
+// rebuilt through MakeGen so their streams restart from scratch.
+func (m *Machine) Reset(procs []*kernel.Process) {
+	m.hier.Reset()
+	for _, u := range m.units {
+		u.Reset()
+	}
+	m.procs = procs
+	m.threads = kernel.Threads(procs)
+	for c := range m.cores {
+		cs := &m.cores[c]
+		queue := cs.queue[:0]
+		*cs = coreState{queue: queue}
+		if m.cfg.Background.enabled() {
+			cs.bgGen = m.cfg.Background.MakeGen(c)
+			cs.nextBg = m.cfg.Background.Period
+		}
+	}
+	m.now = 0
+	m.rebuildQueues()
+}
+
 // Unit exposes the signature unit of the first (shared) L2 — the common
 // case; use UnitFor with private-L2 hierarchies.
 func (m *Machine) Unit() *bloom.Unit { return m.units[0] }
@@ -260,16 +290,23 @@ func (m *Machine) rebuildQueues() {
 	for c := range m.cores {
 		cs := &m.cores[c]
 		if len(cs.queue) > 0 {
-			sig := m.UnitFor(c).ContextSwitch(c)
 			cs.switches++
 			// A reshuffle can interrupt a quantum early; a signature from a
 			// short partial quantum under-measures the footprint, so keep
 			// the previous full-quantum signature unless at least half the
-			// slice elapsed.
-			t := cs.queue[cs.cur]
-			elapsed := int64(m.cfg.QuantumCycles) - cs.quantumLeft
-			if t.Sig == nil || 2*elapsed >= int64(m.cfg.QuantumCycles) {
-				t.Sig = sig
+			// slice elapsed. When the signature unit is detached the capture
+			// is skipped entirely: the filters are empty and nothing ever
+			// reads Sig in such runs.
+			if !m.cfg.DisableSignature {
+				t := cs.queue[cs.cur]
+				elapsed := int64(m.cfg.QuantumCycles) - cs.quantumLeft
+				if t.Sig == nil || 2*elapsed >= int64(m.cfg.QuantumCycles) {
+					// Overwrite the thread's own record in place (it is being
+					// replaced; nothing else aliases its buffers).
+					t.Sig = m.UnitFor(c).ContextSwitchInto(c, t.Sig)
+				} else {
+					m.UnitFor(c).DiscardSwitch(c)
+				}
 			}
 		}
 		cs.queue = cs.queue[:0]
@@ -679,10 +716,15 @@ func (m *Machine) runBackground(c int) {
 }
 
 // contextSwitch captures the outgoing thread's signature, stores it in its
-// context, and rotates the core's run queue.
+// context, and rotates the core's run queue. The capture reuses the
+// thread's previous signature record in place (allocation-free in steady
+// state) and is skipped entirely when the signature unit is detached.
 func (m *Machine) contextSwitch(c int) {
 	cs := &m.cores[c]
-	cs.queue[cs.cur].Sig = m.UnitFor(c).ContextSwitch(c)
+	if !m.cfg.DisableSignature {
+		t := cs.queue[cs.cur]
+		t.Sig = m.UnitFor(c).ContextSwitchInto(c, t.Sig)
+	}
 	cs.switches++
 	cs.time += m.cfg.SwitchCost
 	cs.cur = (cs.cur + 1) % len(cs.queue)

@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"symbiosched/internal/kernel"
+	"symbiosched/internal/workload"
+)
+
+// threadSnapshot captures everything a run writes into a thread that the
+// experiment layer later reads.
+type threadSnapshot struct {
+	User, Completion    uint64
+	MemRefs, L2R, L2M   uint64
+	Runs                int
+	HasSig              bool
+	Occupancy, LastCore int
+	Symbiosis, Overlap  []int
+}
+
+func snapshotThreads(m *Machine) []threadSnapshot {
+	out := make([]threadSnapshot, len(m.threads))
+	for i, t := range m.threads {
+		s := threadSnapshot{
+			User: t.UserCycles, Completion: t.CompletionUser,
+			MemRefs: t.MemRefs, L2R: t.L2Refs, L2M: t.L2Misses,
+			Runs: t.Runs,
+		}
+		if t.Sig != nil {
+			s.HasSig = true
+			s.Occupancy = t.Sig.Occupancy
+			s.LastCore = t.Sig.LastCore
+			s.Symbiosis = append([]int(nil), t.Sig.Symbiosis...)
+			s.Overlap = append([]int(nil), t.Sig.Overlap...)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TestMachineResetMatchesFresh pins the arena invariant the experiments
+// package builds on: Machine.Reset plus kernel.ResetWorkload must reproduce
+// a freshly constructed machine bit for bit — run results, per-thread
+// statistics and captured signatures all identical, twice over (the second
+// reset catches state that survives one round but not two).
+func TestMachineResetMatchesFresh(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.DisableSignature = disable
+
+		run := func(m *Machine) (Result, []threadSnapshot) {
+			m.DistributeRoundRobin()
+			res := m.Run(RunOptions{})
+			return res, snapshotThreads(m)
+		}
+
+		procs := kernel.Workload(schedProfiles(t, "mcf", "libquantum", "povray"), 5, workload.TestScale)
+		m := New(cfg, procs)
+		wantRes, wantThreads := run(m)
+
+		for round := 0; round < 2; round++ {
+			if !kernel.ResetWorkload(procs) {
+				t.Fatal("synthetic workload not rewindable")
+			}
+			m.Reset(procs)
+			gotRes, gotThreads := run(m)
+			if gotRes != wantRes {
+				t.Fatalf("disable=%v round %d: reset run %+v, fresh run %+v", disable, round, gotRes, wantRes)
+			}
+			if !reflect.DeepEqual(gotThreads, wantThreads) {
+				t.Fatalf("disable=%v round %d: thread state diverged\nreset: %+v\nfresh: %+v", disable, round, gotThreads, wantThreads)
+			}
+		}
+
+		// A genuinely fresh twin must agree too (guards against the first
+		// run itself depending on leftover state in the shared fixture).
+		procs2 := kernel.Workload(schedProfiles(t, "mcf", "libquantum", "povray"), 5, workload.TestScale)
+		m2 := New(cfg, procs2)
+		res2, threads2 := run(m2)
+		if res2 != wantRes || !reflect.DeepEqual(threads2, wantThreads) {
+			t.Fatalf("disable=%v: fresh twin diverged: %+v vs %+v", disable, res2, wantRes)
+		}
+	}
+}
+
+// TestMachineResetSwapsWorkloads checks that one machine can host different
+// process sets in sequence: results for workload B on a machine that
+// previously ran workload A must match a machine built for B from scratch.
+func TestMachineResetSwapsWorkloads(t *testing.T) {
+	cfg := DefaultConfig()
+	mkA := func() []*kernel.Process {
+		return kernel.Workload(schedProfiles(t, "povray", "gobmk"), 7, workload.TestScale)
+	}
+	mkB := func() []*kernel.Process {
+		return kernel.Workload(schedProfiles(t, "hmmer", "omnetpp"), 9, workload.TestScale)
+	}
+
+	m := New(cfg, mkA())
+	m.DistributeRoundRobin()
+	m.Run(RunOptions{})
+
+	procsB := mkB()
+	m.Reset(procsB)
+	m.DistributeRoundRobin()
+	got := m.Run(RunOptions{})
+	gotThreads := snapshotThreads(m)
+
+	fresh := New(cfg, mkB())
+	fresh.DistributeRoundRobin()
+	want := fresh.Run(RunOptions{})
+	wantThreads := snapshotThreads(fresh)
+
+	if got != want || !reflect.DeepEqual(gotThreads, wantThreads) {
+		t.Fatalf("workload swap diverged: %+v vs %+v", got, want)
+	}
+}

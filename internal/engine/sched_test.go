@@ -98,19 +98,28 @@ func TestReshuffleMidQuantumKeepsSignature(t *testing.T) {
 	if sig1 == nil {
 		t.Fatal("first reshuffle left no signature despite Sig==nil arm")
 	}
+	// Replacement now happens in place (the capture reuses the thread's own
+	// record), so pointer identity cannot distinguish keep from replace.
+	// Plant a sentinel in a field every capture overwrites: a kept signature
+	// preserves it, a recapture clobbers it.
+	const sentinel = -7
+	sig1.LastCore = sentinel
 
 	// Another short partial quantum (< half of the fresh slice the reshuffle
 	// granted): the previous signature must survive.
 	m.Run(RunOptions{Horizon: quantum/4 + quantum/8})
 	m.SetAffinities([]int{0, 1}) // swap back
-	if t0.Sig != sig1 {
+	if t0.Sig.LastCore != sentinel {
 		t.Fatal("sub-half-quantum reshuffle replaced the signature")
 	}
 
 	// Run well past the halfway point of the new quantum: now it replaces.
 	m.Run(RunOptions{Horizon: quantum/4 + quantum/8 + (3*quantum)/4})
 	m.SetAffinities([]int{1, 0})
-	if t0.Sig == sig1 {
+	if t0.Sig != sig1 {
+		t.Fatal("recapture abandoned the reusable record instead of overwriting it")
+	}
+	if t0.Sig.LastCore == sentinel {
 		t.Fatal("post-half-quantum reshuffle kept the stale signature")
 	}
 }

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"symbiosched/internal/alloc"
+	"symbiosched/internal/engine"
+)
+
+// TestArenaRunMappingMatchesFresh pins the arena's core invariant: a
+// machine and workload rewound in place must produce the same MixResult as
+// fresh construction — across repeated runs, different mappings, and a
+// workload switch in between (which evicts the single-entry cache).
+func TestArenaRunMappingMatchesFresh(t *testing.T) {
+	c := Quick()
+	mixA := mixProfiles(t, "povray", "gobmk")
+	mixB := mixProfiles(t, "hmmer", "libquantum")
+	a := getArena()
+	defer putArena(a)
+
+	for round := 0; round < 2; round++ {
+		for _, mix := range [][]int{{0, 1}, {0, 0}} {
+			got := a.runMapping(c, mixA, mix, nil)
+			want := c.RunMapping(mixA, mix, nil)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d mapping %v: arena %+v != fresh %+v", round, mix, got, want)
+			}
+			// Interleave the other workload so the cache entry churns.
+			got = a.runMapping(c, mixB, []int{0, 1}, nil)
+			want = c.RunMapping(mixB, []int{0, 1}, nil)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d mixB: arena %+v != fresh %+v", round, got, want)
+			}
+		}
+	}
+}
+
+// TestArenaPhase1MatchesFresh does the same for the signature-gathering
+// phase, whose machine keeps the Bloom-filter unit attached: the reused
+// filters, recency vectors and monitor interplay must reproduce the fresh
+// machine's majority mapping exactly.
+func TestArenaPhase1MatchesFresh(t *testing.T) {
+	c := Quick()
+	mix := mixProfiles(t, "mcf", "libquantum", "povray", "gobmk")
+	policy := alloc.WeightedInterferenceGraph{}
+	a := getArena()
+	defer putArena(a)
+
+	want := c.Phase1(mix, policy, nil)
+	for round := 0; round < 3; round++ {
+		got := a.phase1(c, mix, policy, nil)
+		if !got.Equal(want) {
+			t.Fatalf("round %d: arena phase-1 chose %v, fresh chose %v", round, got, want)
+		}
+	}
+}
+
+// TestArenaSharesMachinesAcrossConfigs checks the machine cache keys on the
+// engine configuration: phase-1 (signature attached) and phase-2 (signature
+// detached) must get distinct machines, and a second run of either must
+// reuse the cached one rather than growing the map.
+func TestArenaSharesMachinesAcrossConfigs(t *testing.T) {
+	c := Quick()
+	mix := mixProfiles(t, "povray", "gobmk")
+	// A pristine arena (not from the sync.Pool, which may hand back one
+	// warmed by earlier tests) so the cache-growth accounting is exact.
+	a := &simArena{machines: map[engineKey]*engine.Machine{}}
+
+	a.runMapping(c, mix, []int{0, 1}, nil)
+	a.phase1(c, mix, alloc.WeightedInterferenceGraph{}, nil)
+	if len(a.machines) != 2 {
+		t.Fatalf("expected 2 machines (phase-1 + phase-2 configs), got %d", len(a.machines))
+	}
+	a.runMapping(c, mix, []int{0, 0}, nil)
+	a.phase1(c, mix, alloc.WeightedInterferenceGraph{}, nil)
+	if len(a.machines) != 2 {
+		t.Fatalf("machine cache grew on reuse: %d entries", len(a.machines))
+	}
+}
+
+// BenchmarkRunMixAllocs measures steady-state allocations of a full RunMix
+// (phase 1 + all phase-2 candidates) with the worker arenas warm: the
+// sync.Pool keeps them alive across iterations, so allocs/op reflects the
+// residual per-run cost (monitor views, policy scratch), not machine
+// construction. This is the ISSUE's ≥5× allocation-reduction gauge; compare
+// against a baseline build with `go test -bench RunMixAllocs -benchmem`.
+func BenchmarkRunMixAllocs(b *testing.B) {
+	c := Quick()
+	c.Workers = 1
+	mix := mixProfiles(b, "povray", "gobmk", "hmmer", "libquantum")
+	cands := c.candidatesFor(mix)
+	policy := alloc.WeightedInterferenceGraph{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.RunMix(mix, policy, cands, nil)
+	}
+}
+
+// BenchmarkSweepQuick measures the flat scheduler end to end on the Fig 10
+// bench pool at Quick scale (15 mixes), the same workload cmd/bench times.
+func BenchmarkSweepQuick(b *testing.B) {
+	c := Quick()
+	pool := mixProfiles(b, "mcf", "omnetpp", "libquantum", "hmmer", "povray", "gobmk")
+	policy := alloc.WeightedInterferenceGraph{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Sweep(pool, policy, 4, nil)
+	}
+}

@@ -53,6 +53,22 @@ type Config struct {
 	// filter has only 256 entries and saturates, losing the footprint
 	// discrimination the full-size filter retains at 25% sampling.
 	SampleRate int
+	// ShardIndex/ShardTotal select one deterministic slice of a sweep's
+	// combination space for cross-machine sharding (see shard.go): shard i
+	// of N covers combos [i·C/N, (i+1)·C/N). Both zero means the whole
+	// sweep; when set, 0 ≤ ShardIndex < ShardTotal is required. These only
+	// affect SweepShard — Sweep always runs the full space. They are
+	// execution parameters, not simulation parameters: the config hash
+	// embedded in shard files excludes them (and Workers/OnTask), so shards
+	// produced with different worker counts merge freely.
+	ShardIndex int
+	ShardTotal int
+	// OnTask, if set, observes every completed scheduler task (phase-1 runs
+	// and phase-2 candidate runs) for progress reporting and utilization
+	// analysis. It is called synchronously from the worker that executed
+	// the task, concurrently across workers — it must be safe for
+	// concurrent use and should return quickly.
+	OnTask func(TaskInfo)
 }
 
 // Default returns the experiment-grade configuration: 1/16-scale machine,

@@ -69,34 +69,48 @@ func Figure13(c Config) Figure13Result {
 	}
 
 	mixes := RepresentativeMixes()
-	// Dense result matrix: cell writes from the parallel loop never alias.
-	vals := make([][]float64, len(mixes))
-	for i := range vals {
-		vals[i] = make([]float64, len(policies))
+	// Every (mix, policy) cell is one job of a single flat task graph: all
+	// phase-1 runs and all candidate runs across all cells share one
+	// work-stealing pool instead of nesting a candidate pool per cell.
+	jobs := make([]mixJob, 0, len(mixes)*len(policies))
+	for _, names := range mixes {
+		mix := profilesByName(names)
+		cands := c.candidatesFor(mix)
+		for _, p := range policies {
+			jobs = append(jobs, mixJob{cfg: c, profiles: mix, policy: p, candidates: cands})
+		}
 	}
-	c.parallel(len(mixes)*len(policies), func(k int) {
-		mi, pi := k/len(policies), k%len(policies)
-		var mix []workload.Profile
-		for _, n := range mixes[mi] {
-			prof, err := workload.ByName(n)
-			if err != nil {
-				panic(err)
-			}
-			mix = append(mix, prof)
-		}
-		out := c.RunMix(mix, policies[pi], c.candidatesFor(mix), nil)
-		var imps []float64
-		for i := range out.Names {
-			imps = append(imps, out.ImprovementFor(i))
-		}
-		vals[mi][pi] = metrics.Mean(imps)
-	})
+	outcomes := runMixJobs(c, jobs)
 	for mi, names := range mixes {
 		mc := MixComparison{Mix: names, Results: map[string]float64{}}
 		for pi, p := range policies {
-			mc.Results[p.Name()] = vals[mi][pi]
+			mc.Results[p.Name()] = meanImprovement(outcomes[mi*len(policies)+pi])
 		}
 		res.Mixes = append(res.Mixes, mc)
 	}
 	return res
+}
+
+// profilesByName resolves benchmark names to profiles, panicking on unknown
+// names (the representative mixes are compiled in).
+func profilesByName(names []string) []workload.Profile {
+	mix := make([]workload.Profile, 0, len(names))
+	for _, n := range names {
+		prof, err := workload.ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		mix = append(mix, prof)
+	}
+	return mix
+}
+
+// meanImprovement averages the chosen-over-worst improvement across the
+// mix's benchmarks.
+func meanImprovement(o MixOutcome) float64 {
+	imps := make([]float64, len(o.Names))
+	for i := range o.Names {
+		imps[i] = o.ImprovementFor(i)
+	}
+	return metrics.Mean(imps)
 }

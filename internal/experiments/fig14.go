@@ -6,7 +6,6 @@ import (
 	"symbiosched/internal/alloc"
 	"symbiosched/internal/bloom"
 	"symbiosched/internal/metrics"
-	"symbiosched/internal/workload"
 )
 
 // Figure14Result compares hash functions for the signature filters (§5.3):
@@ -60,32 +59,23 @@ func Figure14(c Config) Figure14Result {
 		res.Variants = append(res.Variants, k.String())
 	}
 	mixes := RepresentativeMixes()
-	vals := make([][]float64, len(mixes))
-	for i := range vals {
-		vals[i] = make([]float64, len(kinds))
+	// One flat task graph over every (mix, hash) cell; each job carries its
+	// own per-hash configuration, and the worker arenas keep one machine per
+	// distinct signature config, so the variants share workloads but not
+	// filters.
+	jobs := make([]mixJob, 0, len(mixes)*len(kinds))
+	for _, names := range mixes {
+		mix := profilesByName(names)
+		for _, k := range kinds {
+			cc := c.withHash(k)
+			jobs = append(jobs, mixJob{cfg: cc, profiles: mix, policy: alloc.WeightedInterferenceGraph{}, candidates: cc.candidatesFor(mix)})
+		}
 	}
-	c.parallel(len(mixes)*len(kinds), func(idx int) {
-		mi, ki := idx/len(kinds), idx%len(kinds)
-		cc := c.withHash(kinds[ki])
-		var mix []workload.Profile
-		for _, n := range mixes[mi] {
-			prof, err := workload.ByName(n)
-			if err != nil {
-				panic(err)
-			}
-			mix = append(mix, prof)
-		}
-		out := cc.RunMix(mix, alloc.WeightedInterferenceGraph{}, cc.candidatesFor(mix), nil)
-		var imps []float64
-		for i := range out.Names {
-			imps = append(imps, out.ImprovementFor(i))
-		}
-		vals[mi][ki] = metrics.Mean(imps)
-	})
+	outcomes := runMixJobs(c, jobs)
 	for mi, names := range mixes {
 		mc := MixComparison{Mix: names, Results: map[string]float64{}}
 		for ki, k := range kinds {
-			mc.Results[k.String()] = vals[mi][ki]
+			mc.Results[k.String()] = meanImprovement(outcomes[mi*len(kinds)+ki])
 		}
 		res.Mixes = append(res.Mixes, mc)
 	}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"symbiosched/internal/alloc"
+	"symbiosched/internal/workload"
+)
+
+// mixJob is one mix's worth of work for runMixJobs: the full two-phase
+// experiment for one mix under a per-job configuration (the hash-function
+// study varies the signature config per job) and policy.
+type mixJob struct {
+	cfg        Config
+	profiles   []workload.Profile
+	policy     alloc.Policy
+	candidates []alloc.Mapping
+	virt       *VirtSpec
+}
+
+// runMixJobs executes the full two-phase experiment for every job on one
+// flat work-stealing pool and returns the outcomes in job order. Each job
+// becomes a phase-1 root task that, once the majority mapping is known,
+// spawns one independent phase-2 task per candidate mapping onto the
+// executing worker's own deque: the worker's LIFO pop keeps it depth-first
+// on the mix it just profiled (whose workload its arena holds rewound),
+// while idle workers steal candidates from the front. Every task writes into
+// a pre-assigned slot of outcomes, so the result is bit-identical for any
+// worker count and any steal interleaving.
+//
+// c supplies the execution parameters (worker count, OnTask callback); each
+// job's cfg supplies the simulation parameters.
+func runMixJobs(c Config, jobs []mixJob) []MixOutcome {
+	outcomes := make([]MixOutcome, len(jobs))
+	if len(jobs) == 0 {
+		return outcomes
+	}
+	pool := newWSPool(c.workers(), c.OnTask)
+	arenas := make([]*simArena, len(pool.workers))
+	for i := range arenas {
+		arenas[i] = getArena()
+	}
+	defer func() {
+		for _, a := range arenas {
+			putArena(a)
+		}
+	}()
+
+	roots := make([]wsTask, len(jobs))
+	for j := range jobs {
+		j := j
+		job := jobs[j]
+		roots[j] = wsTask{kind: TaskPhase1, mix: j, candidate: -1,
+			run: func(p *wsPool, w int) {
+				chosen := arenas[w].phase1(job.cfg, job.profiles, job.policy, job.virt)
+				out := &outcomes[j]
+				out.Chosen = chosen
+				out.ChosenIdx = -1
+				out.Names = make([]string, len(job.profiles))
+				for i, prof := range job.profiles {
+					out.Names[i] = prof.Name
+				}
+				cands := make([]alloc.Mapping, len(job.candidates), len(job.candidates)+1)
+				copy(cands, job.candidates)
+				for i, cand := range cands {
+					if cand.Key() == chosen.Key() {
+						out.ChosenIdx = i
+					}
+				}
+				if out.ChosenIdx < 0 {
+					cands = append(cands, chosen)
+					out.ChosenIdx = len(cands) - 1
+				}
+				out.Candidates = make([]MixResult, len(cands))
+				for i := range cands {
+					i := i
+					cand := cands[i]
+					p.push(w, wsTask{kind: TaskCandidate, mix: j, candidate: i,
+						run: func(p *wsPool, w int) {
+							out.Candidates[i] = arenas[w].runMapping(job.cfg, job.profiles, cand, job.virt)
+						}})
+				}
+			}}
+	}
+	pool.run(roots)
+	return outcomes
+}

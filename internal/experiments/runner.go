@@ -157,8 +157,13 @@ type MixOutcome struct {
 }
 
 // ImprovementFor returns the improvement of the chosen schedule over the
-// worst candidate for process i: (worst − chosen)/worst.
+// worst candidate for process i: (worst − chosen)/worst. An outcome with no
+// candidates (a zero MixOutcome, or a deserialized shard entry that was
+// truncated) reports 0, not a panic.
 func (o MixOutcome) ImprovementFor(i int) float64 {
+	if len(o.Candidates) == 0 {
+		return 0
+	}
 	worst := o.Candidates[0].UserCycles[i]
 	for _, c := range o.Candidates[1:] {
 		if c.UserCycles[i] > worst {
@@ -174,8 +179,12 @@ func (o MixOutcome) ImprovementFor(i int) float64 {
 
 // OracleImprovementFor returns the improvement the best candidate (perfect
 // hindsight) achieves over the worst for process i — the ceiling against
-// which ImprovementFor can be judged.
+// which ImprovementFor can be judged. Like ImprovementFor, it reports 0 on
+// an empty candidate set.
 func (o MixOutcome) OracleImprovementFor(i int) float64 {
+	if len(o.Candidates) == 0 {
+		return 0
+	}
 	worst, best := o.Candidates[0].UserCycles[i], o.Candidates[0].UserCycles[i]
 	for _, c := range o.Candidates[1:] {
 		if c.UserCycles[i] > worst {
@@ -194,31 +203,24 @@ func (o MixOutcome) OracleImprovementFor(i int) float64 {
 // RunMix performs the full two-phase experiment for one mix: phase 1 picks
 // a mapping by majority vote; phase 2 runs every candidate thread-level
 // mapping to completion. If the chosen mapping is not among the candidates
-// it is appended.
+// it is appended. The run executes on the flat work-stealing scheduler
+// (scheduler.go) as a one-job graph — the phase-1 task spawns the candidate
+// tasks — so a standalone RunMix gets the same bounded parallelism and
+// arena reuse as a full sweep, with no nested pool.
 func (c Config) RunMix(profiles []workload.Profile, policy alloc.Policy, candidates []alloc.Mapping, v *VirtSpec) MixOutcome {
-	chosen := c.Phase1(profiles, policy, v)
-	out := MixOutcome{Chosen: chosen, ChosenIdx: -1}
-	for _, p := range profiles {
-		out.Names = append(out.Names, p.Name)
-	}
-	cands := append([]alloc.Mapping(nil), candidates...)
-	for i, cand := range cands {
-		if cand.Key() == chosen.Key() {
-			out.ChosenIdx = i
-		}
-	}
-	if out.ChosenIdx < 0 {
-		cands = append(cands, chosen)
-		out.ChosenIdx = len(cands) - 1
-	}
-	out.Candidates = make([]MixResult, len(cands))
-	c.parallel(len(cands), func(i int) {
-		out.Candidates[i] = c.RunMapping(profiles, cands[i], v)
-	})
-	return out
+	return runMixJobs(c, []mixJob{{
+		cfg:        c,
+		profiles:   profiles,
+		policy:     policy,
+		candidates: candidates,
+		virt:       v,
+	}})[0]
 }
 
-// parallel runs fn(0..n-1) across the configured worker pool.
+// parallel runs fn(0..n-1) across the configured worker pool. It remains the
+// right tool for the flat, non-spawning loops (pairwise studies, candidate
+// scans in Table 1 / fairness / quad-core); everything that used to nest a
+// RunMix inside it now goes through the work-stealing scheduler instead.
 func (c Config) parallel(n int, fn func(i int)) {
 	workers := c.workers()
 	if workers > n {

@@ -91,7 +91,7 @@ func TestConfigScales(t *testing.T) {
 	}
 }
 
-func mixProfiles(t *testing.T, names ...string) []workload.Profile {
+func mixProfiles(t testing.TB, names ...string) []workload.Profile {
 	t.Helper()
 	var out []workload.Profile
 	for _, n := range names {

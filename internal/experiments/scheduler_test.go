@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"symbiosched/internal/alloc"
+)
+
+// TestWorkersInvariance pins the scheduler's determinism-by-construction
+// contract: the sweep report must be bit-identical for any worker count,
+// because every task writes a pre-assigned slot and the reduction runs in
+// combo order regardless of the execution interleaving.
+func TestWorkersInvariance(t *testing.T) {
+	pool := mixProfiles(t, "povray", "gobmk", "hmmer", "libquantum", "sjeng")
+	serial := Quick()
+	serial.Workers = 1
+	wide := Quick()
+	wide.Workers = 8
+	a := serial.Sweep(pool, alloc.WeightedInterferenceGraph{}, 4, nil)
+	b := wide.Sweep(pool, alloc.WeightedInterferenceGraph{}, 4, nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("worker count changed the report:\n1 worker: %+v\n8 workers: %+v", a, b)
+	}
+}
+
+// TestShardMergeEquivalence is the protocol's acceptance test: a sweep cut
+// into three shards — serialized to disk, read back, merged — must
+// reproduce the single-process report byte for byte (compared through the
+// JSON encoding so every float is checked exactly).
+func TestShardMergeEquivalence(t *testing.T) {
+	pool := mixProfiles(t, "povray", "gobmk", "hmmer", "libquantum", "sjeng")
+	c := Quick()
+	policy := alloc.WeightedInterferenceGraph{}
+	direct := c.Sweep(pool, policy, 4, nil)
+
+	dir := t.TempDir()
+	const n = 3
+	for i := 0; i < n; i++ {
+		sc := c
+		sc.ShardIndex, sc.ShardTotal = i, n
+		s, err := sc.SweepShard(pool, policy, 4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteShard(filepath.Join(dir, "s"+string(rune('0'+i))+".json"), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, shards, err := MergeShardFiles(filepath.Join(dir, "s*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != n {
+		t.Fatalf("merged %d shards, want %d", len(shards), n)
+	}
+	covered := 0
+	for _, s := range shards {
+		covered += s.Combos()
+	}
+	if covered != shards[0].TotalCombos {
+		t.Fatalf("shards cover %d of %d combos", covered, shards[0].TotalCombos)
+	}
+
+	da, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := json.Marshal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(da) != string(db) {
+		t.Fatalf("merged report differs from direct sweep:\ndirect: %s\nmerged: %s", da, db)
+	}
+}
+
+// TestShardRangePartition checks the combo partitioner: contiguous,
+// exhaustive, balanced to within one combo, for pathological shapes too.
+func TestShardRangePartition(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{
+		{495, 3}, {495, 7}, {5, 3}, {1, 4}, {0, 2}, {16, 16}, {10, 1},
+	} {
+		next := 0
+		min, max := tc.n, 0
+		for i := 0; i < tc.shards; i++ {
+			lo, hi := ShardRange(tc.n, i, tc.shards)
+			if lo != next {
+				t.Fatalf("n=%d shards=%d: shard %d starts at %d, want %d", tc.n, tc.shards, i, lo, next)
+			}
+			if sz := hi - lo; sz < min {
+				min = sz
+			} else if sz > max {
+				max = sz
+			}
+			next = hi
+		}
+		if next != tc.n {
+			t.Fatalf("n=%d shards=%d: covered %d", tc.n, tc.shards, next)
+		}
+		if tc.n >= tc.shards && max-min > 1 {
+			t.Fatalf("n=%d shards=%d: imbalanced (sizes %d..%d)", tc.n, tc.shards, min, max)
+		}
+	}
+}
+
+// TestMergeShardsValidation exercises the merge's rejection paths: gaps,
+// overlaps, truncated outcome lists and cross-campaign mixtures must all
+// fail loudly rather than produce a silently wrong report.
+func TestMergeShardsValidation(t *testing.T) {
+	mk := func(lo, hi int) Shard {
+		out := make([]MixOutcome, hi-lo)
+		return Shard{Format: ShardFormat, PoolHash: "p", ConfigHash: "c",
+			Pool: []string{"a", "b"}, Policy: "wig", MixSize: 2,
+			TotalCombos: 10, ComboLo: lo, ComboHi: hi, Outcomes: out}
+	}
+	if _, err := MergeShards(nil); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	if _, err := MergeShards([]Shard{mk(0, 4), mk(4, 10)}); err != nil {
+		t.Fatalf("valid tiling rejected: %v", err)
+	}
+	// Out-of-order input must still merge (sorted internally).
+	if _, err := MergeShards([]Shard{mk(4, 10), mk(0, 4)}); err != nil {
+		t.Fatalf("unsorted tiling rejected: %v", err)
+	}
+	if _, err := MergeShards([]Shard{mk(0, 4), mk(5, 10)}); err == nil {
+		t.Fatal("gap accepted")
+	}
+	if _, err := MergeShards([]Shard{mk(0, 6), mk(4, 10)}); err == nil {
+		t.Fatal("overlap accepted")
+	}
+	if _, err := MergeShards([]Shard{mk(0, 4), mk(0, 4), mk(4, 10)}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := MergeShards([]Shard{mk(0, 4)}); err == nil {
+		t.Fatal("partial cover accepted")
+	}
+	trunc := mk(0, 4)
+	trunc.Outcomes = trunc.Outcomes[:2]
+	if _, err := MergeShards([]Shard{trunc, mk(4, 10)}); err == nil {
+		t.Fatal("truncated outcomes accepted")
+	}
+	foreign := mk(4, 10)
+	foreign.ConfigHash = "other"
+	if _, err := MergeShards([]Shard{mk(0, 4), foreign}); err == nil {
+		t.Fatal("cross-campaign merge accepted")
+	}
+}
+
+// TestImprovementForEmptyCandidates is the regression test for the unguarded
+// Candidates[0] index: a zero-valued outcome (or a truncated shard entry)
+// must report zero improvement, not panic.
+func TestImprovementForEmptyCandidates(t *testing.T) {
+	var o MixOutcome
+	if got := o.ImprovementFor(0); got != 0 {
+		t.Fatalf("ImprovementFor on empty outcome = %v, want 0", got)
+	}
+	if got := o.OracleImprovementFor(0); got != 0 {
+		t.Fatalf("OracleImprovementFor on empty outcome = %v, want 0", got)
+	}
+}
+
+// TestSchedulerStress hammers the work-stealing pool with thousands of tiny
+// spawning tasks — far finer-grained than any real simulation task — so the
+// deque protocol, the sleep/wake path and the termination detection get
+// exercised under maximal contention. Run under -race this is the
+// scheduler's data-race gate; the assertions catch lost or double-executed
+// tasks in any mode.
+func TestSchedulerStress(t *testing.T) {
+	const (
+		workers = 8
+		roots   = 500
+		spawns  = 7
+	)
+	for round := 0; round < 3; round++ {
+		var executed, spawned atomic.Int64
+		var reported atomic.Int64
+		var stolen atomic.Int64
+		p := newWSPool(workers, func(ti TaskInfo) {
+			reported.Add(1)
+			if ti.Stolen {
+				stolen.Add(1)
+			}
+		})
+		tasks := make([]wsTask, roots)
+		for i := range tasks {
+			tasks[i] = wsTask{kind: TaskPhase1, mix: i, candidate: -1,
+				run: func(p *wsPool, w int) {
+					executed.Add(1)
+					for j := 0; j < spawns; j++ {
+						p.push(w, wsTask{kind: TaskCandidate, mix: -1, candidate: j,
+							run: func(p *wsPool, w int) {
+								spawned.Add(1)
+							}})
+					}
+				}}
+		}
+		p.run(tasks)
+		if executed.Load() != roots {
+			t.Fatalf("round %d: %d roots executed, want %d", round, executed.Load(), roots)
+		}
+		if spawned.Load() != roots*spawns {
+			t.Fatalf("round %d: %d children executed, want %d", round, spawned.Load(), roots*spawns)
+		}
+		total := int64(roots + roots*spawns)
+		if reported.Load() != total {
+			t.Fatalf("round %d: OnTask saw %d tasks, want %d", round, reported.Load(), total)
+		}
+		if p.executed.Load() != total {
+			t.Fatalf("round %d: pool counted %d tasks, want %d", round, p.executed.Load(), total)
+		}
+		if p.pending.Load() != 0 {
+			t.Fatalf("round %d: %d tasks still pending after run", round, p.pending.Load())
+		}
+		if stolen.Load() != p.steals.Load() {
+			t.Fatalf("round %d: steal counters disagree: %d vs %d", round, stolen.Load(), p.steals.Load())
+		}
+	}
+}
+
+// TestSchedulerSingleWorker checks the degenerate pool: one worker, no
+// thieves, strict LIFO within a spawning graph — and that the pool drains
+// rather than deadlocking with nobody to steal from.
+func TestSchedulerSingleWorker(t *testing.T) {
+	var order []int
+	p := newWSPool(1, nil)
+	p.run([]wsTask{{run: func(p *wsPool, w int) {
+		order = append(order, 0)
+		for j := 1; j <= 3; j++ {
+			j := j
+			p.push(w, wsTask{run: func(p *wsPool, w int) { order = append(order, j) }})
+		}
+	}}})
+	// LIFO: the owner pops its own deque from the back.
+	want := []int{0, 3, 2, 1}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("single-worker execution order %v, want %v", order, want)
+	}
+}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"symbiosched/internal/alloc"
+	"symbiosched/internal/workload"
+)
+
+// This file implements the cross-machine shard protocol: a full figure sweep
+// is a set of independent mixes, so its combination space can be cut into
+// deterministic contiguous ranges, each range run on a different machine
+// with `symbiosched -shard i/N -out f.json`, the resulting shard files
+// shipped anywhere, and `-merge 'glob'` reduced into the same
+// ImprovementReport the single-process sweep produces — bit-identical,
+// because the merge feeds the exact outcomes through the exact reduction
+// Sweep itself uses (Sweep is the degenerate merge of one full-range shard).
+//
+// Shard files are JSON: MixOutcome carries only strings and integers (user
+// times are uint64 cycle counts; Go's encoder/decoder round-trips full
+// 64-bit integers losslessly), and every improvement percentage is computed
+// at merge time from those integers, so serialization introduces no
+// floating-point drift. The header carries FNV-1a fingerprints of the
+// benchmark pool and of the simulation parameters; merging shards produced
+// by configurations that could disagree on results is refused. Execution
+// parameters (worker count, shard geometry, progress callbacks) are
+// deliberately outside the fingerprint — shards from machines with
+// different core counts merge freely, which is the point.
+
+// ShardFormat is the shard file format version; bumped on incompatible
+// layout changes.
+const ShardFormat = 1
+
+// Shard is one machine's slice of a sweep: the combos in [ComboLo, ComboHi)
+// of the lexicographic mixSize-combination enumeration of Pool, with a
+// header binding it to the campaign that produced it.
+type Shard struct {
+	Format      int      `json:"format"`
+	PoolHash    string   `json:"pool_hash"`   // FNV-1a of the pool names
+	ConfigHash  string   `json:"config_hash"` // FNV-1a of the simulation parameters
+	Pool        []string `json:"pool"`
+	Policy      string   `json:"policy"`
+	MixSize     int      `json:"mix_size"`
+	Virtual     bool     `json:"virtual"`
+	TotalCombos int      `json:"total_combos"`
+	ComboLo     int      `json:"combo_lo"`
+	ComboHi     int      `json:"combo_hi"`
+	Index       int      `json:"shard_index"`
+	Total       int      `json:"shard_total"`
+	// ElapsedSeconds is the wall time the shard's simulation took — merge
+	// reports use it to spot load imbalance across machines.
+	ElapsedSeconds float64      `json:"elapsed_seconds"`
+	Outcomes       []MixOutcome `json:"outcomes"`
+}
+
+// Combos returns the number of mixes in the shard.
+func (s Shard) Combos() int { return s.ComboHi - s.ComboLo }
+
+func hashHex(parts ...string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// campaignFingerprint canonicalises every Config field that shapes
+// simulation results. Workers, the shard geometry and OnTask are execution
+// parameters and excluded on purpose.
+func (c Config) campaignFingerprint() string {
+	sig := "nil"
+	if c.Signature != nil {
+		sig = fmt.Sprintf("%+v", *c.Signature)
+	}
+	return fmt.Sprintf("machdiv=%d instrdiv=%d quantum=%d monitor=%d horizon=%d seed=%d sig=%s l2replace=%d candlimit=%d samplerate=%d",
+		c.MachineDiv, c.InstrDiv, c.Quantum, c.MonitorPeriod, c.Phase1Horizon,
+		c.Seed, sig, c.L2Replace, c.CandidateLimit, c.SampleRate)
+}
+
+// ShardRange returns the combo range [lo,hi) of shard idx of total over a
+// space of n combos: contiguous, exhaustive, and balanced to within one
+// combo (the standard idx·n/total split).
+func ShardRange(n, idx, total int) (lo, hi int) {
+	return idx * n / total, (idx + 1) * n / total
+}
+
+// SweepShard runs this configuration's shard (ShardIndex of ShardTotal;
+// both zero means the whole space as one shard) of the sweep and returns it
+// with a populated header, ready for WriteShard. The outcomes are the same
+// values Sweep would compute for those combos.
+func (c Config) SweepShard(pool []workload.Profile, policy alloc.Policy, mixSize int, v *VirtSpec) (Shard, error) {
+	idx, total := c.ShardIndex, c.ShardTotal
+	if total == 0 && idx == 0 {
+		total = 1
+	}
+	if total < 1 || idx < 0 || idx >= total {
+		return Shard{}, fmt.Errorf("experiments: invalid shard %d/%d", idx, total)
+	}
+	combos := Combinations(len(pool), mixSize)
+	lo, hi := ShardRange(len(combos), idx, total)
+	start := time.Now()
+	outcomes := c.sweepOutcomes(pool, policy, mixSize, v, lo, hi)
+	names := poolNames(pool)
+	return Shard{
+		Format:         ShardFormat,
+		PoolHash:       hashHex(names...),
+		ConfigHash:     hashHex(c.campaignFingerprint()),
+		Pool:           names,
+		Policy:         policy.Name(),
+		MixSize:        mixSize,
+		Virtual:        v != nil,
+		TotalCombos:    len(combos),
+		ComboLo:        lo,
+		ComboHi:        hi,
+		Index:          idx,
+		Total:          total,
+		ElapsedSeconds: time.Since(start).Seconds(),
+		Outcomes:       outcomes,
+	}, nil
+}
+
+// WriteShard serialises the shard as indented JSON at path.
+func WriteShard(path string, s Shard) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: marshal shard: %w", err)
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadShard deserialises a shard file and checks its format version.
+func ReadShard(path string) (Shard, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Shard{}, err
+	}
+	var s Shard
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Shard{}, fmt.Errorf("experiments: %s: %w", path, err)
+	}
+	if s.Format != ShardFormat {
+		return Shard{}, fmt.Errorf("experiments: %s: shard format %d, want %d", path, s.Format, ShardFormat)
+	}
+	return s, nil
+}
+
+// MergeShards validates that the shards belong to one campaign and exactly
+// tile its combination space, then reduces them — through the same
+// reduction Sweep uses — into the sweep's ImprovementReport. The input
+// order is irrelevant (shards are sorted by range); duplicates, gaps,
+// overlaps, truncated outcome lists and cross-campaign mixtures are all
+// rejected with a diagnostic.
+func MergeShards(shards []Shard) (ImprovementReport, error) {
+	if len(shards) == 0 {
+		return ImprovementReport{}, fmt.Errorf("experiments: no shards to merge")
+	}
+	ref := shards[0]
+	for _, s := range shards[1:] {
+		switch {
+		case s.PoolHash != ref.PoolHash:
+			return ImprovementReport{}, fmt.Errorf("experiments: shard pool mismatch: %s vs %s", s.PoolHash, ref.PoolHash)
+		case s.ConfigHash != ref.ConfigHash:
+			return ImprovementReport{}, fmt.Errorf("experiments: shard config mismatch: %s vs %s", s.ConfigHash, ref.ConfigHash)
+		case s.Policy != ref.Policy, s.MixSize != ref.MixSize, s.Virtual != ref.Virtual, s.TotalCombos != ref.TotalCombos:
+			return ImprovementReport{}, fmt.Errorf("experiments: shard campaign mismatch: %s/%d/%v/%d vs %s/%d/%v/%d",
+				s.Policy, s.MixSize, s.Virtual, s.TotalCombos, ref.Policy, ref.MixSize, ref.Virtual, ref.TotalCombos)
+		}
+	}
+	sorted := append([]Shard(nil), shards...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ComboLo < sorted[j].ComboLo })
+	outcomes := make([]MixOutcome, 0, ref.TotalCombos)
+	next := 0
+	for _, s := range sorted {
+		if s.ComboLo != next {
+			return ImprovementReport{}, fmt.Errorf("experiments: shard ranges do not tile: combo %d missing or duplicated (next shard starts at %d)", next, s.ComboLo)
+		}
+		if s.ComboHi < s.ComboLo || s.ComboHi > s.TotalCombos {
+			return ImprovementReport{}, fmt.Errorf("experiments: shard range [%d,%d) out of bounds", s.ComboLo, s.ComboHi)
+		}
+		if len(s.Outcomes) != s.Combos() {
+			return ImprovementReport{}, fmt.Errorf("experiments: shard [%d,%d) has %d outcomes, want %d", s.ComboLo, s.ComboHi, len(s.Outcomes), s.Combos())
+		}
+		outcomes = append(outcomes, s.Outcomes...)
+		next = s.ComboHi
+	}
+	if next != ref.TotalCombos {
+		return ImprovementReport{}, fmt.Errorf("experiments: shards cover %d of %d combos", next, ref.TotalCombos)
+	}
+	return reduceOutcomes(ref.Pool, ref.Policy, ref.Virtual, ref.MixSize, ref.TotalCombos, outcomes), nil
+}
+
+// MergeShardFiles reads every file matching the glob and merges them. It
+// returns the shards alongside the report so callers can print per-shard
+// provenance (ranges, machines' elapsed times).
+func MergeShardFiles(glob string) (ImprovementReport, []Shard, error) {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return ImprovementReport{}, nil, err
+	}
+	if len(paths) == 0 {
+		return ImprovementReport{}, nil, fmt.Errorf("experiments: no files match %q", glob)
+	}
+	sort.Strings(paths)
+	shards := make([]Shard, 0, len(paths))
+	for _, p := range paths {
+		s, err := ReadShard(p)
+		if err != nil {
+			return ImprovementReport{}, nil, err
+		}
+		shards = append(shards, s)
+	}
+	report, err := MergeShards(shards)
+	if err != nil {
+		return ImprovementReport{}, nil, err
+	}
+	return report, shards, nil
+}
+
+// SweepSpec names one of the figure sweeps for the sharding CLI: the pool,
+// policy and virtualization layer that Figure10/11/12 pass to Sweep.
+type SweepSpec struct {
+	Figure  string
+	Pool    []workload.Profile
+	Policy  alloc.Policy
+	MixSize int
+	Virt    *VirtSpec
+}
+
+// SweepSpecFor returns the sweep behind a figure name ("fig10", "fig11",
+// "fig12"), matching the corresponding Figure function exactly.
+func SweepSpecFor(figure string) (SweepSpec, error) {
+	switch strings.ToLower(figure) {
+	case "fig10":
+		return SweepSpec{Figure: "fig10", Pool: workload.SPEC2006(), Policy: alloc.WeightedInterferenceGraph{}, MixSize: 4}, nil
+	case "fig11":
+		return SweepSpec{Figure: "fig11", Pool: workload.SPEC2006(), Policy: alloc.WeightedInterferenceGraph{}, MixSize: 4, Virt: DefaultVirt()}, nil
+	case "fig12":
+		return SweepSpec{Figure: "fig12", Pool: workload.PARSEC(), Policy: alloc.TwoPhase{}, MixSize: 4}, nil
+	}
+	return SweepSpec{}, fmt.Errorf("experiments: no sharded sweep for %q (want fig10, fig11 or fig12)", figure)
+}
+
+// RunShard executes the spec's shard under c and returns it.
+func (c Config) RunShard(spec SweepSpec) (Shard, error) {
+	return c.SweepShard(spec.Pool, spec.Policy, spec.MixSize, spec.Virt)
+}

@@ -135,20 +135,53 @@ func (r ImprovementReport) Table() metrics.Table {
 // under the given policy and accumulates per-benchmark improvements of the
 // chosen schedule over the worst candidate schedule. This is the engine
 // behind Figures 10, 11 and 12.
+//
+// All combos execute as one flat task graph on the work-stealing scheduler
+// (one phase-1 task per mix spawning its candidate tasks), replacing the
+// former nested pools (a pool over combos, each combo opening another pool
+// over candidates). A sharded sweep merged with MergeShards produces an
+// identical report — Sweep is literally the reduction of one full-range
+// shard (see shard.go).
 func (c Config) Sweep(pool []workload.Profile, policy alloc.Policy, mixSize int, v *VirtSpec) ImprovementReport {
 	combos := Combinations(len(pool), mixSize)
-	stats := map[string]*BenchStats{}
-	for _, p := range pool {
-		stats[p.Name] = &BenchStats{Name: p.Name}
-	}
-	outcomes := make([]MixOutcome, len(combos))
-	c.parallel(len(combos), func(i int) {
-		var mix []workload.Profile
-		for _, idx := range combos[i] {
+	outcomes := c.sweepOutcomes(pool, policy, mixSize, v, 0, len(combos))
+	return reduceOutcomes(poolNames(pool), policy.Name(), v != nil, mixSize, len(combos), outcomes)
+}
+
+// sweepOutcomes runs the combos in [lo,hi) of the pool's mixSize-combination
+// space (lexicographic order, as Combinations emits them) and returns their
+// outcomes in combo order. It is the shared body of Sweep (full range) and
+// SweepShard (one shard's range).
+func (c Config) sweepOutcomes(pool []workload.Profile, policy alloc.Policy, mixSize int, v *VirtSpec, lo, hi int) []MixOutcome {
+	combos := Combinations(len(pool), mixSize)[lo:hi]
+	jobs := make([]mixJob, len(combos))
+	for i, combo := range combos {
+		mix := make([]workload.Profile, 0, len(combo))
+		for _, idx := range combo {
 			mix = append(mix, pool[idx])
 		}
-		outcomes[i] = c.RunMix(mix, policy, c.candidatesFor(mix), v)
-	})
+		jobs[i] = mixJob{cfg: c, profiles: mix, policy: policy, candidates: c.candidatesFor(mix), virt: v}
+	}
+	return runMixJobs(c, jobs)
+}
+
+func poolNames(pool []workload.Profile) []string {
+	names := make([]string, len(pool))
+	for i, p := range pool {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// reduceOutcomes folds per-mix outcomes into the per-benchmark improvement
+// report. It is the single reduction used by Sweep and MergeShards: both
+// feed it outcomes in combo order over the same pool, so a merged sharded
+// sweep is structurally guaranteed to reproduce the single-process report.
+func reduceOutcomes(pool []string, policyName string, virtual bool, mixSize, mixes int, outcomes []MixOutcome) ImprovementReport {
+	stats := map[string]*BenchStats{}
+	for _, name := range pool {
+		stats[name] = &BenchStats{Name: name}
+	}
 	for _, o := range outcomes {
 		for i, name := range o.Names {
 			stats[name].Improvements = append(stats[name].Improvements, o.ImprovementFor(i))
@@ -156,10 +189,10 @@ func (c Config) Sweep(pool []workload.Profile, policy alloc.Policy, mixSize int,
 		}
 	}
 	report := ImprovementReport{
-		Policy:  policy.Name(),
-		Virtual: v != nil,
+		Policy:  policyName,
+		Virtual: virtual,
 		MixSize: mixSize,
-		Mixes:   len(combos),
+		Mixes:   mixes,
 	}
 	names := make([]string, 0, len(stats))
 	for n := range stats {
@@ -188,9 +221,9 @@ func CandidatesFor(c Config, mix []workload.Profile) []alloc.Mapping {
 func (c Config) candidatesFor(mix []workload.Profile) []alloc.Mapping {
 	cores := c.EngineConfig().Hierarchy.Cores
 	procMaps := EnumerateMappings(len(mix), cores)
-	var out []alloc.Mapping
+	out := make([]alloc.Mapping, 0, len(procMaps)+1)
 	multithreaded := false
-	var sizes []int
+	sizes := make([]int, 0, len(mix))
 	for _, p := range mix {
 		sizes = append(sizes, p.Threads)
 		if p.Threads > 1 {
@@ -229,8 +262,8 @@ func expandSizes(procMap alloc.Mapping, sizes []int) alloc.Mapping {
 }
 
 func dedupMappings(ms []alloc.Mapping) []alloc.Mapping {
-	seen := map[string]bool{}
-	var out []alloc.Mapping
+	seen := make(map[string]bool, len(ms))
+	out := make([]alloc.Mapping, 0, len(ms))
 	for _, m := range ms {
 		if k := m.Key(); !seen[k] {
 			seen[k] = true

@@ -164,7 +164,9 @@ func (g *Graph) cutOfMask(mask uint32) float64 {
 }
 
 func maskGroups(mask uint32, n int) ([]int, []int) {
-	var a, b []int
+	sizeA := bits.OnesCount32(mask)
+	a := make([]int, 0, sizeA)
+	b := make([]int, 0, n-sizeA)
 	for i := 0; i < n; i++ {
 		if mask&(1<<uint(i)) != 0 {
 			a = append(a, i)
@@ -246,9 +248,16 @@ func (g *Graph) PartitionK(k int) [][]int {
 	if k <= 0 || k&(k-1) != 0 {
 		panic(fmt.Sprintf("graph: k=%d must be a positive power of two", k))
 	}
-	groups := [][]int{allNodes(g.n)}
+	if k == 1 {
+		return [][]int{allNodes(g.n)}
+	}
+	// First level: the "subgraph" is the whole graph, so bisect it directly —
+	// no induced copy, and the global indices need no remapping (Bisect
+	// returns sorted groups, exactly what remap's sort would produce).
+	a, b := g.Bisect()
+	groups := [][]int{a, b}
 	for len(groups) < k {
-		var next [][]int
+		next := make([][]int, 0, 2*len(groups))
 		for _, grp := range groups {
 			a, b := g.subgraph(grp).Bisect()
 			next = append(next, remap(grp, a), remap(grp, b))

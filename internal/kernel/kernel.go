@@ -148,6 +148,49 @@ func Workload(profiles []workload.Profile, seed uint64, sc workload.Scale) []*Pr
 	return procs
 }
 
+// Reset returns the thread to its just-created state: all progress counters,
+// statistics, the captured signature, the affinity and the virtualization
+// cost factor are cleared (matching a thread fresh out of Workload, before
+// any virt layer decorates it). The generator is rewound in place when it is
+// a synthetic *workload.Generator; Reset reports false — and leaves the
+// thread counters cleared but the stream untouched — for non-rewindable
+// sources (trace replays), in which case the caller must rebuild the
+// workload instead of reusing it.
+func (t *Thread) Reset() bool {
+	t.Affinity = 0
+	t.InstrRetired = 0
+	t.Runs = 0
+	t.UserCycles = 0
+	t.CompletionUser = 0
+	t.CostNum, t.CostDen = 0, 0
+	t.MemRefs, t.L2Refs, t.L2Misses = 0, 0, 0
+	t.Sig = nil
+	if g, ok := t.Gen.(*workload.Generator); ok {
+		g.Reset()
+		return true
+	}
+	return false
+}
+
+// ResetWorkload rewinds a process set built by Workload to its
+// just-constructed state in place, keeping every allocation (threads,
+// generators, pattern permutations). It reports whether every thread's
+// instruction stream was rewindable; on false the set must be rebuilt with
+// Workload instead. After a true return, running the processes is
+// bit-identical to running a fresh Workload with the same arguments — the
+// invariant the simulation arenas rely on.
+func ResetWorkload(procs []*Process) bool {
+	ok := true
+	for _, p := range procs {
+		for _, t := range p.Threads {
+			if !t.Reset() {
+				ok = false
+			}
+		}
+	}
+	return ok
+}
+
 // SourceProcess wraps an arbitrary instruction source (a trace replay, a
 // custom model) as a single-threaded process with the given run length. The
 // returned process's thread ID is id; callers composing mixed process sets
@@ -195,10 +238,30 @@ type View struct {
 
 // Snapshot builds monitor views for all threads.
 func Snapshot(procs []*Process) []View {
-	var out []View
+	return SnapshotInto(nil, procs)
+}
+
+// SnapshotInto fills buf with monitor views for all threads, reusing buf's
+// backing array and each view's symbiosis/overlap slices when their
+// capacities allow. This is the allocation-free steady-state path for the
+// periodic monitor (§3.2), which re-snapshots every monitoring period; buf
+// may be nil, in which case it behaves like Snapshot. The returned views
+// alias buf and are overwritten by the next call.
+func SnapshotInto(buf []View, procs []*Process) []View {
+	n := 0
+	for _, p := range procs {
+		n += len(p.Threads)
+	}
+	if cap(buf) < n {
+		buf = make([]View, n)
+	}
+	buf = buf[:n]
+	i := 0
 	for _, p := range procs {
 		for _, t := range p.Threads {
-			v := View{
+			v := &buf[i]
+			sym, ov := v.Symbiosis[:0], v.Overlap[:0]
+			*v = View{
 				ThreadID:   t.ID,
 				ProcID:     p.ID,
 				Name:       p.Name,
@@ -211,11 +274,11 @@ func Snapshot(procs []*Process) []View {
 				v.HasSig = true
 				v.LastCore = t.Sig.LastCore
 				v.Occupancy = t.Sig.Occupancy
-				v.Symbiosis = append([]int(nil), t.Sig.Symbiosis...)
-				v.Overlap = append([]int(nil), t.Sig.Overlap...)
+				v.Symbiosis = append(sym, t.Sig.Symbiosis...)
+				v.Overlap = append(ov, t.Sig.Overlap...)
 			}
-			out = append(out, v)
+			i++
 		}
 	}
-	return out
+	return buf
 }

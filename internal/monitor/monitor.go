@@ -32,6 +32,15 @@ type Monitor struct {
 	sample      map[string]alloc.Mapping
 	invocations int
 	smoothed    map[int]*smoothState
+
+	// views is the reusable snapshot buffer (the monitor re-reads the same
+	// thread set every period, so the backing arrays stabilise after the
+	// first invocation); lastMapping/lastKey memoise the vote key of the
+	// previous decision — policies are usually stable between periods, so
+	// the common case records a vote without re-rendering the key.
+	views       []kernel.View
+	lastMapping alloc.Mapping
+	lastKey     string
 }
 
 type smoothState struct {
@@ -56,7 +65,8 @@ func New(p alloc.Policy) *Monitor {
 // (smoothed) snapshot, record the vote, and (if Apply) install the mapping.
 func (mo *Monitor) Hook() func(m *engine.Machine, now uint64) {
 	return func(m *engine.Machine, now uint64) {
-		views := mo.smooth(kernel.Snapshot(m.Processes()))
+		mo.views = kernel.SnapshotInto(mo.views, m.Processes())
+		views := mo.smooth(mo.views)
 		mapping := mo.Policy.Allocate(views, m.Cores())
 		mo.record(mapping)
 		if mo.Apply {
@@ -111,7 +121,12 @@ func (mo *Monitor) smooth(views []kernel.View) []kernel.View {
 
 func (mo *Monitor) record(mapping alloc.Mapping) {
 	mo.invocations++
-	key := mapping.Key()
+	key := mo.lastKey
+	if mo.invocations == 1 || !mapping.Equal(mo.lastMapping) {
+		key = mapping.Key()
+		mo.lastMapping = append(mo.lastMapping[:0], mapping...)
+		mo.lastKey = key
+	}
 	mo.votes[key]++
 	if _, ok := mo.sample[key]; !ok {
 		mo.sample[key] = mapping.Canonical()

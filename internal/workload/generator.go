@@ -46,6 +46,7 @@ type Generator struct {
 	base         uint64 // private-region base address (address-space separation)
 	sharedBase   uint64 // shared-region base address
 	rng          *Rand
+	seed         uint64 // initial RNG seed, kept so Reset can rewind the stream
 
 	// Flattened stackedPattern fast path (see NewGenerator): when the
 	// private pattern is a stackedPattern, the stack draw — the majority of
@@ -92,6 +93,7 @@ func NewGenerator(cfg GeneratorConfig) *Generator {
 		base:         cfg.Base,
 		sharedBase:   cfg.SharedBase,
 		rng:          NewRand(cfg.Seed),
+		seed:         cfg.Seed,
 	}
 	// Precompute the exact reciprocal of the (generator-constant) Bresenham
 	// divisor so NextRun's closed-form run length is a multiply instead of a
@@ -228,6 +230,22 @@ func (g *Generator) NextRun(limit int) (skipped int, addr uint64, mem bool) {
 		return skipped, g.base + g.body.Next(g.rng), true
 	}
 	return skipped, g.base + g.pattern.Next(g.rng), true
+}
+
+// Reset rewinds the generator to its just-constructed state in place: the
+// RNG returns to its seed, the Bresenham accumulator to zero, and both
+// patterns to their initial cursors. All allocations (including a chase
+// pattern's permutation) are kept, and the subsequent instruction stream is
+// bit-identical to a freshly built generator — the invariant the simulation
+// arenas rely on. Any new mutable field added to Generator must be reset
+// here.
+func (g *Generator) Reset() {
+	*g.rng = *NewRand(g.seed)
+	g.accQ53 = 0
+	g.pattern.Reset() // covers the flattened stack body too (same object)
+	if g.shared != nil {
+		g.shared.Reset()
+	}
 }
 
 // MemRatio returns the configured memory-operation ratio.

@@ -33,6 +33,12 @@ type Pattern interface {
 	// Clone returns an independent copy with the same parameters and a
 	// reset cursor.
 	Clone() Pattern
+	// Reset rewinds the pattern's cursor to its initial state in place,
+	// keeping allocations (a ChasePattern keeps its permutation): after
+	// Reset the pattern emits the same offset sequence as a fresh Clone.
+	// Simulation arenas use this to replay a workload without rebuilding
+	// it.
+	Reset()
 }
 
 // StridePattern walks a region with a fixed stride, wrapping around — the
@@ -59,6 +65,9 @@ func (p *StridePattern) Footprint() uint64 { return p.Region }
 
 // Clone returns a reset copy.
 func (p *StridePattern) Clone() Pattern { return &StridePattern{Region: p.Region, Stride: p.Stride} }
+
+// Reset rewinds the walk to the region start.
+func (p *StridePattern) Reset() { p.pos = 0 }
 
 // StreamPattern scans a region sequentially line by line, wrapping — the
 // libquantum/milc shape: near-100% miss rate on a large array with no reuse
@@ -89,6 +98,9 @@ func (p *StreamPattern) Footprint() uint64 { return p.Region }
 // Clone returns a reset copy.
 func (p *StreamPattern) Clone() Pattern { return &StreamPattern{Region: p.Region, Step: p.Step} }
 
+// Reset rewinds the scan to the region start.
+func (p *StreamPattern) Reset() { p.pos = 0 }
+
 // RandomPattern accesses uniformly random lines within its working set —
 // the mcf/omnetpp shape when the set exceeds the cache: high miss rate,
 // footprint as large as the cache allows.
@@ -106,6 +118,9 @@ func (p *RandomPattern) Footprint() uint64 { return p.Region }
 
 // Clone returns a copy (RandomPattern is stateless).
 func (p *RandomPattern) Clone() Pattern { return &RandomPattern{Region: p.Region} }
+
+// Reset is a no-op (RandomPattern is stateless).
+func (p *RandomPattern) Reset() {}
 
 // HotspotPattern models loop-nest locality: a fraction Hot of accesses go to
 // a small hot region, the rest roam a colder large region. The
@@ -137,6 +152,9 @@ func (p *HotspotPattern) Footprint() uint64 { return p.HotRegion + p.ColdRegion 
 func (p *HotspotPattern) Clone() Pattern {
 	return &HotspotPattern{HotRegion: p.HotRegion, ColdRegion: p.ColdRegion, Hot: p.Hot}
 }
+
+// Reset is a no-op (the lazily derived threshold is pure parameter cache).
+func (p *HotspotPattern) Reset() {}
 
 // ChasePattern models a dependent pointer chase through a shuffled
 // permutation of the region's lines (the mcf shape: serialised misses over a
@@ -177,6 +195,10 @@ func (p *ChasePattern) Footprint() uint64 { return p.Region }
 // Clone returns a reset copy with the same permutation seed.
 func (p *ChasePattern) Clone() Pattern { return &ChasePattern{Region: p.Region, Seed: p.Seed} }
 
+// Reset rewinds the chase to line 0, keeping the (seed-deterministic)
+// permutation — the arena-reuse payoff: no re-shuffle, no reallocation.
+func (p *ChasePattern) Reset() { p.cur = 0 }
+
 // MixPattern routes accesses between two sub-patterns: a fraction AFrac go
 // to A, the rest to B placed BOffset bytes above A's region. It generalises
 // HotspotPattern to arbitrary sub-pattern shapes (e.g. libquantum's small
@@ -207,6 +229,12 @@ func (p *MixPattern) Footprint() uint64 { return p.BOffset + p.B.Footprint() }
 // Clone returns a reset deep copy.
 func (p *MixPattern) Clone() Pattern {
 	return &MixPattern{A: p.A.Clone(), B: p.B.Clone(), AFrac: p.AFrac, BOffset: p.BOffset}
+}
+
+// Reset rewinds both sub-patterns.
+func (p *MixPattern) Reset() {
+	p.A.Reset()
+	p.B.Reset()
 }
 
 // PhasedPattern alternates between sub-patterns, spending OpsPerPhase
@@ -251,6 +279,15 @@ func (p *PhasedPattern) Clone() Pattern {
 		phases[i] = ph.Clone()
 	}
 	return &PhasedPattern{Phases: phases, OpsPerPhase: p.OpsPerPhase}
+}
+
+// Reset rewinds to the initial phase state and resets every sub-pattern.
+func (p *PhasedPattern) Reset() {
+	p.cur = 0
+	p.opsLeft = 0
+	for _, ph := range p.Phases {
+		ph.Reset()
+	}
 }
 
 // CurrentPhase returns the index of the active phase (for footprint plots).

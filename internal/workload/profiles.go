@@ -205,6 +205,13 @@ func (s *stackedPattern) Next(r *Rand) uint64 {
 
 func (s *stackedPattern) Footprint() uint64 { return s.body.Footprint() + s.stack.Footprint() }
 
+// Reset rewinds both components (the stack is a stateless RandomPattern, but
+// keep the call so a future stateful stack component cannot be missed).
+func (s *stackedPattern) Reset() {
+	s.stack.Reset()
+	s.body.Reset()
+}
+
 func (s *stackedPattern) Clone() Pattern {
 	return &stackedPattern{
 		stack:       s.stack.Clone(),
