@@ -1,11 +1,21 @@
-# Developer entry points. `make ci` is the full gate a PR must pass; the
-# individual targets exist so the expensive pieces can run alone.
+# Developer entry points. `make ci` is the full gate a PR must pass (and
+# what .github/workflows/ci.yml runs on every push); the individual targets
+# exist so the expensive pieces can run alone.
 
 GO ?= go
 
-.PHONY: ci vet build test race shardcheck benchsmoke bench clean
+.PHONY: ci lint vet build test race shardcheck benchsmoke benchgate bench clean
 
-ci: vet build race shardcheck benchsmoke
+ci: lint build race shardcheck benchsmoke
+
+# Style gate: gofmt must be clean, vet must pass, and staticcheck runs when
+# the host has it (CI and dev boxes without it still get the first two).
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping"; fi
 
 vet:
 	$(GO) vet ./...
@@ -17,21 +27,32 @@ test:
 	$(GO) test ./...
 
 # Race mode exercises the sweep-wide work-stealing pool (per-worker deques,
-# steal path, sleep/wake protocol) and the per-worker arena reuse — the only
+# steal path, sleep/wake protocol), the per-worker arena reuse, and the
+# coordinator's lease table under concurrent worker submissions — the
 # concurrency in the tree. TestSchedulerStress is the dedicated hammer.
 race:
 	$(GO) test -race ./...
 
-# The sharding contract, run explicitly (and uncached) as its own CI gate: a
-# 3-way sharded sweep must merge byte-identically to the single-process run,
-# and results must not depend on the worker count.
+# The sharding contract, run explicitly (and uncached) as its own CI gate:
+# a 3-way sharded sweep must merge byte-identically to the single-process
+# run, results must not depend on the worker count, and the distributed
+# coordinator — stragglers re-dispatched, duplicates discarded — must
+# produce the same bytes end to end over HTTP.
 shardcheck:
 	$(GO) test -count=1 -run 'TestShardMergeEquivalence|TestWorkersInvariance' ./internal/experiments
+	$(GO) test -count=1 -run 'TestCoordinatorEndToEnd' ./internal/coordctl
 
 # One iteration of every benchmark: catches bit-rot in the bench suite (and
 # regenerates each figure once) without committing to real measurement time.
 benchsmoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Perf regression gate: measure the Fig 10 sweep and fail if it is >15%
+# slower than the newest recorded baseline entry. Wall time on shared
+# runners is noisy — CI runs this as a soft (continue-on-error) job; treat
+# a local failure on a quiet box as real.
+benchgate:
+	$(GO) run ./cmd/bench -reps 3 -check results/BENCH_2026-08-06.json -tolerance 0.15
 
 # Real measurement: the recorded Figure 10 sweep harness. Appends to
 # results/BENCH_<date>.json; see README "Performance".

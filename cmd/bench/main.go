@@ -18,6 +18,13 @@
 // When -out names an existing file produced by this tool, the new entry is
 // appended, so running the tool once per build accumulates a comparison
 // (build the tool at the baseline commit and point -out at the same file).
+//
+// Regression gate: `bench -check results/BENCH_<date>.json -tolerance 0.15`
+// measures as usual, then compares against the newest entry of the baseline
+// file and exits non-zero when the sweep is more than the tolerance slower
+// (or when the determinism checksums diverge — different experiments must
+// never be compared). In check mode no artifact is written unless -out is
+// given explicitly.
 package main
 
 import (
@@ -62,6 +69,8 @@ func main() {
 	note := flag.String("note", "", "free-form provenance note stored with the entry")
 	mixSize := flag.Int("mixsize", 4, "benchmarks per mix")
 	shards := flag.Int("shards", 1, "run the sweep as N sequential in-process shards and merge them (1 = direct sweep); exercises the shard protocol end to end")
+	check := flag.String("check", "", "baseline bench JSON: compare against its newest entry and exit non-zero on regression")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional slowdown vs the baseline in -check mode")
 	flag.Parse()
 
 	cfg := experiments.Quick()
@@ -123,6 +132,13 @@ func main() {
 			i+1, *reps, secs, e.AvgImprovementPct, e.MaxImprovementPct)
 	}
 
+	if *check != "" {
+		checkRegression(*check, e, *tolerance)
+		if *out == "" {
+			return
+		}
+	}
+
 	path := *out
 	if path == "" {
 		path = "results/BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
@@ -145,6 +161,40 @@ func main() {
 		}
 		fmt.Printf("speedup vs %s: %.2fx\n", base.Label, base.MinSeconds/cur.MinSeconds)
 	}
+}
+
+// checkRegression is the perf gate: the measured entry must reproduce the
+// baseline's determinism checksums exactly (otherwise the two builds ran
+// different experiments and no time comparison is meaningful) and must not
+// be more than tolerance slower than the baseline's newest entry. Exits
+// the process non-zero on either violation.
+func checkRegression(path string, e Entry, tolerance float64) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fatal(fmt.Errorf("-check baseline: %w", err))
+	}
+	var base Report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fatal(fmt.Errorf("-check baseline %s: %w", path, err))
+	}
+	if len(base.Entries) == 0 {
+		fatal(fmt.Errorf("-check baseline %s has no entries", path))
+	}
+	ref := base.Entries[len(base.Entries)-1]
+	if ref.AvgImprovementPct != e.AvgImprovementPct || ref.MaxImprovementPct != e.MaxImprovementPct {
+		fmt.Fprintf(os.Stderr, "bench: determinism checksum mismatch vs baseline %q: avg %.12f%% / max %.12f%%, baseline %.12f%% / %.12f%% — the experiment itself changed, record a new baseline before gating on time\n",
+			ref.Label, e.AvgImprovementPct, e.MaxImprovementPct, ref.AvgImprovementPct, ref.MaxImprovementPct)
+		os.Exit(1)
+	}
+	limit := ref.MinSeconds * (1 + tolerance)
+	ratio := e.MinSeconds/ref.MinSeconds - 1
+	if e.MinSeconds > limit {
+		fmt.Fprintf(os.Stderr, "bench: REGRESSION: min %.3fs vs baseline %q %.3fs (%+.1f%%, tolerance %.0f%%)\n",
+			e.MinSeconds, ref.Label, ref.MinSeconds, 100*ratio, 100*tolerance)
+		os.Exit(1)
+	}
+	fmt.Printf("bench: ok: min %.3fs vs baseline %q %.3fs (%+.1f%%, tolerance %.0f%%)\n",
+		e.MinSeconds, ref.Label, ref.MinSeconds, 100*ratio, 100*tolerance)
 }
 
 // pool returns the Figure 10 bench pool: six SPEC profiles spanning every

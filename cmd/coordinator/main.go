@@ -1,0 +1,150 @@
+// Command coordinator runs a distributed sweep campaign: it serves shard
+// work units over HTTP to `symbiosched -worker` processes, re-dispatches
+// stragglers when leases expire, folds accepted shards into a streaming
+// partial merge (live at /status), and exits writing the final report —
+// byte-identical to a single-process `symbiosched <fig>` run.
+//
+// Usage:
+//
+//	coordinator -figure fig10 -shards 8 -addr :8377 &
+//	symbiosched -worker http://host:8377       # on each worker machine
+//
+// The coordinator exits 0 with the report on stdout once every shard is
+// merged, and 1 when a shard exhausts its dispatch attempts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"symbiosched/internal/coordctl"
+	"symbiosched/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8377", "listen address")
+	figure := flag.String("figure", "fig10", "sweep to run: fig10, fig11 or fig12")
+	shards := flag.Int("shards", 4, "number of shards to cut the campaign into")
+	quick := flag.Bool("quick", false, "run at test scale")
+	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
+	poolFlag := flag.String("pool", "", "comma-separated benchmark subset (default: the figure's pool)")
+	leaseTimeout := flag.Duration("lease-timeout", 10*time.Minute, "re-dispatch a shard when its lease is this old")
+	maxAttempts := flag.Int("max-attempts", 3, "dispatch attempts per shard before the campaign fails")
+	statusEvery := flag.Duration("status-every", 15*time.Second, "progress line period on stderr (0 disables)")
+	linger := flag.Duration("linger", 6*time.Second, "keep serving after completion so polling workers observe it and exit (0 disables)")
+	out := flag.String("out", "", "write the final report as JSON to this path")
+	csv := flag.Bool("csv", false, "emit the final table as CSV")
+	flag.Parse()
+
+	logf := log.New(os.Stderr, "", log.Ltime).Printf
+
+	var pool []string
+	if *poolFlag != "" {
+		for _, n := range strings.Split(*poolFlag, ",") {
+			n = strings.TrimSpace(n)
+			if _, err := workload.ByName(n); err != nil {
+				fatal(err)
+			}
+			pool = append(pool, n)
+		}
+	}
+	campaign, err := coordctl.NewCampaign(*figure, *quick, *seed, pool, *shards)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := coordctl.NewServer(coordctl.ServerOptions{
+		Campaign:     campaign,
+		LeaseTimeout: *leaseTimeout,
+		MaxAttempts:  *maxAttempts,
+		Logf:         logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}()
+	combos, _ := campaign.Combos()
+	logf("coordinator: serving %s (%d combos in %d shards, pool hash %s) on http://%s",
+		campaign.Figure, combos, campaign.ShardTotal, campaign.PoolHash, ln.Addr())
+	logf("coordinator: start workers with: symbiosched -worker http://<this-host>%s", *addr)
+
+	if *statusEvery > 0 {
+		go func() {
+			t := time.NewTicker(*statusEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-srv.Done():
+					return
+				case <-t.C:
+					st := srv.StatusSnapshot()
+					counts := map[string]int{}
+					for _, sh := range st.Shards {
+						counts[sh.State]++
+					}
+					logf("coordinator: %d/%d combos merged; shards: %d done, %d leased, %d pending, %d failed",
+						st.CombosCovered, st.TotalCombos, counts["done"], counts["leased"], counts["pending"], counts["failed"])
+				}
+			}
+		}()
+	}
+
+	<-srv.Done()
+	// Keep answering for a moment: workers sleeping in their poll backoff
+	// (capped at 5s) learn the campaign is over from a 410 instead of
+	// finding a dead socket and burning their retry budget against it.
+	lingerDone := time.After(*linger)
+	finish := func(code int) {
+		if *linger > 0 {
+			logf("coordinator: lingering %v so workers observe completion (-linger 0 to skip)", *linger)
+		}
+		<-lingerDone
+		httpSrv.Close()
+		os.Exit(code)
+	}
+	if err := srv.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "coordinator:", err)
+		finish(1)
+	}
+	report, err := srv.Report()
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		logf("coordinator: report written to %s", *out)
+	}
+	if *csv {
+		fmt.Print(report.Table().CSV())
+	} else {
+		fmt.Println(report.Table().String())
+	}
+	finish(0)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coordinator:", err)
+	os.Exit(1)
+}

@@ -26,18 +26,28 @@
 //	symbiosched -shard 1/3 -out s1.json fig10   # on machine 1
 //	symbiosched -shard 2/3 -out s2.json fig10   # on machine 2
 //	symbiosched -merge 's*.json'                # anywhere: the full figure
+//
+// Or let a coordinator dispatch the shards (see cmd/coordinator): each
+// worker leases shards, runs them, and submits the results until the
+// campaign is merged:
+//
+//	symbiosched -worker http://coordinator:8377
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
 
+	"symbiosched/internal/coordctl"
 	"symbiosched/internal/experiments"
 	"symbiosched/internal/metrics"
 	"symbiosched/internal/workload"
@@ -53,14 +63,23 @@ func main() {
 	shardFlag := flag.String("shard", "", "run one sweep shard, as i/N (fig10/fig11/fig12 only)")
 	outFlag := flag.String("out", "", "shard output path (default <fig>-shard-<i>of<N>.json)")
 	mergeFlag := flag.String("merge", "", "merge shard files matching this glob and print the report")
+	workerFlag := flag.String("worker", "", "serve a campaign coordinator at this URL as a shard worker")
 	progressFlag := flag.Bool("progress", false, "print live task throughput and worker utilization to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() != 1 && *mergeFlag == "" {
+	if flag.NArg() != 1 && *mergeFlag == "" && *workerFlag == "" {
 		usage()
 		os.Exit(2)
+	}
+
+	if *workerFlag != "" {
+		if err := runWorker(*workerFlag, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *cpuProfile != "" {
@@ -258,6 +277,18 @@ func poolOrNil(pool []workload.Profile, dflt []workload.Profile) []workload.Prof
 	return pool
 }
 
+// runWorker serves a coordinator until its campaign completes: lease a
+// shard, simulate it, submit the result, repeat — with jittered
+// exponential backoff between failed or empty polls. Ctrl-C abandons the
+// current lease cleanly (the coordinator re-dispatches it on expiry).
+func runWorker(url string, simWorkers int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	w := coordctl.NewWorker(url, simWorkers)
+	w.Logf = log.New(os.Stderr, "", log.Ltime).Printf
+	return w.Loop(ctx)
+}
+
 // runShard parses "-shard i/N", runs that slice of the figure's sweep, and
 // writes the shard file.
 func runShard(cfg experiments.Config, shard, figure, out string, pool []workload.Profile) error {
@@ -375,6 +406,8 @@ experiments:
 sharding (fig10/fig11/fig12):
   -shard i/N <fig>   run combos [i*C/N,(i+1)*C/N) and write a shard file (-out)
   -merge 'glob'      merge shard files into the figure's report (no experiment arg)
+  -worker URL        lease and run shards from a campaign coordinator
+                     (see cmd/coordinator; no experiment arg)
 
 flags:
 `)

@@ -1,0 +1,82 @@
+package coordctl
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff produces exponentially growing, jittered delays for the worker's
+// retry loops: transport errors, empty lease polls, and submit retries all
+// share the shape. Zero fields take the defaults (100ms base, ×2 growth,
+// 5s cap, ±50% jitter). Not safe for concurrent use; each worker loop owns
+// its own.
+type Backoff struct {
+	Base   time.Duration
+	Max    time.Duration
+	Factor float64
+	// Jitter spreads each delay uniformly over [d·(1−J), d·(1+J)], so a
+	// fleet of workers that failed together does not retry in lockstep.
+	Jitter float64
+
+	attempt int
+	rng     *rand.Rand
+}
+
+func (b *Backoff) defaults() {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Factor <= 1 {
+		b.Factor = 2
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = 0.5
+	}
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+}
+
+// Next returns the delay before the next retry and advances the schedule.
+func (b *Backoff) Next() time.Duration {
+	b.defaults()
+	d := float64(b.Base)
+	for i := 0; i < b.attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	b.attempt++
+	if b.Jitter > 0 {
+		d *= 1 - b.Jitter + 2*b.Jitter*b.rng.Float64()
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Reset restarts the schedule from Base — call after any success.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// sleep waits for d or until the context is cancelled, reporting whether
+// the full delay elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

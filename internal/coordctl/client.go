@@ -1,0 +1,303 @@
+package coordctl
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"symbiosched/internal/experiments"
+)
+
+// ErrCampaignDone is returned by Client.Lease when the coordinator reports
+// the campaign over (successfully or not) — the worker should exit.
+var ErrCampaignDone = errors.New("coordctl: campaign complete")
+
+// ErrRejected is returned by Client.Submit when the coordinator refused
+// the shard (422) — retrying the identical shard cannot succeed.
+var ErrRejected = errors.New("coordctl: shard rejected")
+
+// Client speaks the worker side of the coordinator protocol.
+type Client struct {
+	// BaseURL is the coordinator root, e.g. "http://host:8377".
+	BaseURL string
+	// Worker names this worker in leases and shard provenance.
+	Worker string
+	// HTTP is the transport (default: a client with a 30s timeout).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimSuffix(c.BaseURL, "/") + path
+}
+
+// Lease asks for work. It returns (nil, nil) when nothing is leasable
+// right now (back off and retry), ErrCampaignDone when the campaign is
+// over, and a transport/protocol error otherwise.
+func (c *Client) Lease(ctx context.Context) (*WorkUnit, error) {
+	body, _ := json.Marshal(struct {
+		Worker string `json:"worker"`
+	}{c.Worker})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/lease"), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var wu WorkUnit
+		if err := json.NewDecoder(resp.Body).Decode(&wu); err != nil {
+			return nil, fmt.Errorf("coordctl: bad lease response: %w", err)
+		}
+		return &wu, nil
+	case http.StatusNoContent:
+		return nil, nil
+	case http.StatusGone:
+		return nil, ErrCampaignDone
+	default:
+		return nil, fmt.Errorf("coordctl: lease: %s", readError(resp))
+	}
+}
+
+// Submit posts a completed shard under the given lease.
+func (c *Client) Submit(ctx context.Context, leaseID string, sh experiments.Shard) (SubmitResult, error) {
+	body, err := json.Marshal(sh)
+	if err != nil {
+		return SubmitResult{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.url("/submit?lease="+leaseID), bytes.NewReader(body))
+	if err != nil {
+		return SubmitResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return SubmitResult{}, err
+	}
+	defer resp.Body.Close()
+	var res SubmitResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return SubmitResult{}, fmt.Errorf("coordctl: bad submit response (HTTP %d): %w", resp.StatusCode, err)
+	}
+	if resp.StatusCode == http.StatusUnprocessableEntity {
+		return res, fmt.Errorf("%w: %s", ErrRejected, res.Error)
+	}
+	if resp.StatusCode == http.StatusGone {
+		return res, ErrCampaignDone
+	}
+	if resp.StatusCode != http.StatusOK {
+		return res, fmt.Errorf("coordctl: submit: HTTP %d: %s", resp.StatusCode, res.Error)
+	}
+	return res, nil
+}
+
+// Status fetches the coordinator's status document.
+func (c *Client) Status(ctx context.Context) (Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/status"), nil)
+	if err != nil {
+		return Status{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Status{}, fmt.Errorf("coordctl: bad status response: %w", err)
+	}
+	return st, nil
+}
+
+func readError(resp *http.Response) string {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	msg := strings.TrimSpace(string(b))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return msg
+}
+
+// Worker is the lease → simulate → submit loop behind
+// `symbiosched -worker <url>`.
+type Worker struct {
+	Client Client
+	// Workers is the simulation parallelism per shard (0 = GOMAXPROCS).
+	Workers int
+	// Backoff paces lease polls and transport retries.
+	Backoff Backoff
+	// Run executes one shard (test hook; nil runs the real SweepShard).
+	Run func(cfg experiments.Config, spec experiments.SweepSpec) (experiments.Shard, error)
+	// MaxFailures caps consecutive transport failures before the worker
+	// gives up (0 = default 10). A coordinator that has finished and
+	// exited refuses connections; without this cap a worker sleeping in
+	// backoff at that moment would retry the dead address forever.
+	MaxFailures int
+	// Logf, when set, receives one line per worker event.
+	Logf func(format string, args ...any)
+
+	failures int // consecutive transport failures, reset on any contact
+}
+
+// NewWorker returns a worker for the coordinator at url, named after the
+// host and pid.
+func NewWorker(url string, simWorkers int) *Worker {
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "worker"
+	}
+	return &Worker{
+		Client:  Client{BaseURL: url, Worker: fmt.Sprintf("%s-%d", host, os.Getpid())},
+		Workers: simWorkers,
+	}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// fail records one transport failure and reports whether the budget of
+// consecutive failures is spent.
+func (w *Worker) fail() (spent bool) {
+	w.failures++
+	limit := w.MaxFailures
+	if limit <= 0 {
+		limit = 10
+	}
+	return w.failures >= limit
+}
+
+// Loop serves the campaign until the coordinator says it is over or the
+// context is cancelled. Transient failures (coordinator unreachable,
+// nothing leasable yet) retry on the jittered exponential backoff, up to
+// MaxFailures consecutive transport errors — after that the coordinator
+// is presumed gone for good and Loop returns its last error. Fatal
+// failures (this build cannot produce the campaign's results, or a shard
+// this worker computed was rejected) return immediately, because retrying
+// would re-submit the same wrong bytes forever.
+func (w *Worker) Loop(ctx context.Context) error {
+	for {
+		wu, err := w.Client.Lease(ctx)
+		switch {
+		case errors.Is(err, ErrCampaignDone):
+			w.logf("worker %s: campaign complete, exiting", w.Client.Worker)
+			return nil
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case err != nil:
+			if w.fail() {
+				return fmt.Errorf("coordctl: coordinator unreachable after %d consecutive failures: %w", w.failures, err)
+			}
+			d := w.Backoff.Next()
+			w.logf("worker %s: lease failed (%v), retrying in %v", w.Client.Worker, err, d)
+			if !sleep(ctx, d) {
+				return ctx.Err()
+			}
+			continue
+		case wu == nil:
+			w.failures = 0
+			d := w.Backoff.Next()
+			w.logf("worker %s: no shard leasable, polling again in %v", w.Client.Worker, d)
+			if !sleep(ctx, d) {
+				return ctx.Err()
+			}
+			continue
+		}
+		w.failures = 0
+		w.Backoff.Reset()
+		done, err := w.runUnit(ctx, wu)
+		if err != nil {
+			return err
+		}
+		if done {
+			w.logf("worker %s: campaign complete, exiting", w.Client.Worker)
+			return nil
+		}
+	}
+}
+
+// runUnit executes one leased shard and submits it, retrying the submit on
+// transport errors up to the consecutive-failure budget (the lease expiring
+// behind our back is fine — the coordinator keeps the first valid result).
+// It reports done=true when the submit response says this shard completed
+// the campaign, so the worker can exit without another lease round trip.
+func (w *Worker) runUnit(ctx context.Context, wu *WorkUnit) (done bool, err error) {
+	cfg := wu.Campaign.Config()
+	cfg.Workers = w.Workers
+	cfg.ShardIndex, cfg.ShardTotal = wu.ShardIndex, wu.Campaign.ShardTotal
+	if got := cfg.CampaignHash(); got != wu.Campaign.ConfigHash {
+		return false, fmt.Errorf("coordctl: this build computes config hash %s, campaign wants %s — version skew, not retryable", got, wu.Campaign.ConfigHash)
+	}
+	spec, err := wu.Campaign.Spec()
+	if err != nil {
+		return false, fmt.Errorf("coordctl: cannot resolve campaign: %w", err)
+	}
+	w.logf("worker %s: running shard %d/%d of %s (lease %s, attempt %d)",
+		w.Client.Worker, wu.ShardIndex, wu.Campaign.ShardTotal, wu.Campaign.Figure, wu.LeaseID, wu.Attempt)
+	run := w.Run
+	if run == nil {
+		run = func(cfg experiments.Config, spec experiments.SweepSpec) (experiments.Shard, error) {
+			return cfg.RunShard(spec)
+		}
+	}
+	sh, err := run(cfg, spec)
+	if err != nil {
+		// A local simulation failure abandons the lease; the coordinator
+		// will re-dispatch the shard when it expires.
+		w.logf("worker %s: shard %d failed locally: %v (abandoning lease)", w.Client.Worker, wu.ShardIndex, err)
+		return false, nil
+	}
+	sh.Worker, sh.Attempt = w.Client.Worker, wu.Attempt
+	for {
+		res, err := w.Client.Submit(ctx, wu.LeaseID, sh)
+		switch {
+		case errors.Is(err, ErrCampaignDone):
+			// The campaign ended while we were computing; our result is moot.
+			return true, nil
+		case errors.Is(err, ErrRejected):
+			return false, fmt.Errorf("coordctl: shard %d rejected by coordinator: %w", wu.ShardIndex, err)
+		case ctx.Err() != nil:
+			return false, ctx.Err()
+		case err != nil:
+			if w.fail() {
+				return false, fmt.Errorf("coordctl: coordinator unreachable after %d consecutive failures: %w", w.failures, err)
+			}
+			d := w.Backoff.Next()
+			w.logf("worker %s: submit of shard %d failed (%v), retrying in %v", w.Client.Worker, wu.ShardIndex, err, d)
+			if !sleep(ctx, d) {
+				return false, ctx.Err()
+			}
+			continue
+		}
+		w.failures = 0
+		w.Backoff.Reset()
+		switch {
+		case res.Accepted:
+			w.logf("worker %s: shard %d accepted", w.Client.Worker, wu.ShardIndex)
+		case res.Superseded:
+			w.logf("worker %s: shard %d superseded (another worker finished first)", w.Client.Worker, wu.ShardIndex)
+		}
+		return res.Done, nil
+	}
+}

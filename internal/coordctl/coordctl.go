@@ -1,0 +1,166 @@
+// Package coordctl is the distributed campaign coordinator for the figure
+// sweeps: an HTTP server that hands shard work units to worker processes,
+// re-dispatches stragglers when leases expire, validates every submission
+// against the campaign's pool and config fingerprints, folds accepted
+// shards into a streaming partial merge, and finishes with a report that is
+// byte-identical to a single-process Sweep of the same campaign.
+//
+// The protocol has three verbs, all JSON over HTTP:
+//
+//	POST /lease   {"worker": name}      → WorkUnit, 204 (nothing leasable
+//	                                      right now, retry) or 410 (campaign
+//	                                      over, stop)
+//	POST /submit?lease=ID  Shard JSON   → SubmitResult (422 on a shard that
+//	                                      fails validation)
+//	GET  /status                        → Status, including the partial
+//	                                      ImprovementReport over the combos
+//	                                      merged so far
+//	GET  /report                        → the final ImprovementReport (409
+//	                                      until the campaign completes)
+//
+// Failure semantics: a shard whose lease expires goes back to pending and
+// is handed to the next idle worker; a shard that exhausts MaxAttempts
+// marks the campaign failed. Duplicate completions (a straggler finishing
+// after its shard was re-dispatched) are resolved deterministically by
+// keeping the first result that validates — later ones are acknowledged as
+// superseded and discarded, which cannot change the report because both
+// workers computed the same deterministic outcomes. A submission that
+// fails validation (wrong pool/config hash, wrong range, truncated
+// outcomes) is rejected and never merged; workers are untrusted with
+// respect to configuration, trusted with respect to arithmetic.
+package coordctl
+
+import (
+	"fmt"
+
+	"symbiosched/internal/experiments"
+	"symbiosched/internal/workload"
+)
+
+// Campaign is the self-describing work order a coordinator serves with
+// every lease: enough for a worker with the same build to reconstruct the
+// exact sweep, plus the fingerprints that let both sides detect when it
+// cannot. Pool is empty when the figure's default pool applies.
+type Campaign struct {
+	Figure     string   `json:"figure"`
+	Quick      bool     `json:"quick"`
+	Seed       uint64   `json:"seed,omitempty"`
+	Pool       []string `json:"pool,omitempty"`
+	ShardTotal int      `json:"shard_total"`
+	PoolHash   string   `json:"pool_hash"`
+	ConfigHash string   `json:"config_hash"`
+}
+
+// NewCampaign resolves the figure and pool, computes the fingerprints and
+// returns the ready-to-serve campaign descriptor.
+func NewCampaign(figure string, quick bool, seed uint64, pool []string, shardTotal int) (Campaign, error) {
+	if shardTotal < 1 {
+		return Campaign{}, fmt.Errorf("coordctl: campaign needs at least 1 shard, got %d", shardTotal)
+	}
+	c := Campaign{Figure: figure, Quick: quick, Seed: seed, Pool: pool, ShardTotal: shardTotal}
+	spec, err := c.Spec()
+	if err != nil {
+		return Campaign{}, err
+	}
+	names := make([]string, len(spec.Pool))
+	for i, p := range spec.Pool {
+		names[i] = p.Name
+	}
+	c.PoolHash = experiments.PoolHash(names)
+	c.ConfigHash = c.Config().CampaignHash()
+	return c, nil
+}
+
+// Config reconstructs the simulation configuration the campaign describes.
+// Execution parameters (worker parallelism, shard geometry) are the
+// caller's to fill in — they do not affect results or the config hash.
+func (c Campaign) Config() experiments.Config {
+	cfg := experiments.Default()
+	if c.Quick {
+		cfg = experiments.Quick()
+	}
+	if c.Seed != 0 {
+		cfg.Seed = c.Seed
+	}
+	return cfg
+}
+
+// Spec resolves the campaign's figure to its sweep spec, applying the pool
+// override when the campaign restricts it.
+func (c Campaign) Spec() (experiments.SweepSpec, error) {
+	spec, err := experiments.SweepSpecFor(c.Figure)
+	if err != nil {
+		return spec, err
+	}
+	if len(c.Pool) > 0 {
+		pool := make([]workload.Profile, 0, len(c.Pool))
+		for _, n := range c.Pool {
+			p, err := workload.ByName(n)
+			if err != nil {
+				return spec, err
+			}
+			pool = append(pool, p)
+		}
+		spec.Pool = pool
+	}
+	return spec, nil
+}
+
+// Combos returns the size of the campaign's combination space.
+func (c Campaign) Combos() (int, error) {
+	spec, err := c.Spec()
+	if err != nil {
+		return 0, err
+	}
+	return len(experiments.Combinations(len(spec.Pool), spec.MixSize)), nil
+}
+
+// WorkUnit is one granted lease: the campaign, the shard to run, and the
+// lease the worker must present at submission.
+type WorkUnit struct {
+	Campaign   Campaign `json:"campaign"`
+	ShardIndex int      `json:"shard_index"`
+	LeaseID    string   `json:"lease_id"`
+	// Attempt is 1 for the first dispatch of the shard, higher for
+	// re-dispatches after expired leases or rejected submissions.
+	Attempt int `json:"attempt"`
+}
+
+// SubmitResult acknowledges a shard submission.
+type SubmitResult struct {
+	// Accepted means the shard was validated and folded into the merge.
+	Accepted bool `json:"accepted"`
+	// Superseded means another worker's result for the same shard was
+	// already accepted; this submission was discarded, which is fine.
+	Superseded bool `json:"superseded,omitempty"`
+	// Done means the campaign has completed and the worker can stop.
+	Done  bool   `json:"done,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// Status is the /status document: the campaign, the per-shard state
+// machine, and the streaming partial merge.
+type Status struct {
+	Figure         string        `json:"figure"`
+	State          string        `json:"state"` // running | done | failed
+	Error          string        `json:"error,omitempty"`
+	ElapsedSeconds float64       `json:"elapsed_seconds"`
+	TotalCombos    int           `json:"total_combos"`
+	CombosCovered  int           `json:"combos_covered"`
+	Shards         []ShardStatus `json:"shards"`
+	// Partial is the improvement report over the combos merged so far;
+	// once State is "done" it is the final report.
+	Partial *experiments.ImprovementReport `json:"partial,omitempty"`
+}
+
+// ShardStatus is one shard's row in the /status state machine.
+type ShardStatus struct {
+	Index    int    `json:"index"`
+	State    string `json:"state"` // pending | leased | done | failed
+	Worker   string `json:"worker,omitempty"`
+	Attempts int    `json:"attempts"`
+	// ElapsedSeconds is the accepted shard's simulation wall time (done),
+	// or the age of the current lease (leased).
+	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
+	Error          string  `json:"error,omitempty"`
+}

@@ -1,0 +1,156 @@
+package coordctl
+
+import (
+	"fmt"
+	"time"
+)
+
+// shardState is the per-shard state machine the coordinator drives:
+//
+//	pending ──lease──▶ leased ──valid submit──▶ done
+//	   ▲                  │
+//	   └──expiry/reject───┴──attempts exhausted──▶ failed
+//
+// done is terminal (first valid result wins); failed is terminal and fails
+// the campaign.
+type shardState int
+
+const (
+	statePending shardState = iota
+	stateLeased
+	stateDone
+	stateFailed
+)
+
+func (s shardState) String() string {
+	switch s {
+	case statePending:
+		return "pending"
+	case stateLeased:
+		return "leased"
+	case stateDone:
+		return "done"
+	case stateFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("shardState(%d)", int(s))
+}
+
+// shardEntry is one shard's bookkeeping. attempts counts lease grants, so
+// a re-dispatch after an expired lease or a rejected submission raises it.
+type shardEntry struct {
+	index    int
+	state    shardState
+	leaseID  string
+	worker   string
+	attempts int
+	leasedAt time.Time
+	deadline time.Time
+	// elapsed is the accepted shard's own simulation wall time.
+	elapsed float64
+	lastErr string
+}
+
+// leaseTable owns the shard entries. It is not locked — the server
+// serializes access under its own mutex.
+type leaseTable struct {
+	entries     []shardEntry
+	timeout     time.Duration
+	maxAttempts int
+	seq         int
+}
+
+func newLeaseTable(shards int, timeout time.Duration, maxAttempts int) *leaseTable {
+	t := &leaseTable{
+		entries:     make([]shardEntry, shards),
+		timeout:     timeout,
+		maxAttempts: maxAttempts,
+	}
+	for i := range t.entries {
+		t.entries[i].index = i
+	}
+	return t
+}
+
+// expire requeues every leased shard whose deadline has passed — the
+// straggler re-dispatch path — failing those that already burned their
+// attempt budget. It returns the indices it moved so the server can log.
+func (t *leaseTable) expire(now time.Time) (requeued, failed []int) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.state != stateLeased || now.Before(e.deadline) {
+			continue
+		}
+		e.lastErr = fmt.Sprintf("lease %s to %s expired after %v (attempt %d)", e.leaseID, e.worker, t.timeout, e.attempts)
+		e.leaseID = ""
+		if e.attempts >= t.maxAttempts {
+			e.state = stateFailed
+			failed = append(failed, i)
+		} else {
+			e.state = statePending
+			requeued = append(requeued, i)
+		}
+	}
+	return requeued, failed
+}
+
+// lease grants the lowest-indexed pending shard to the worker, or returns
+// nil when nothing is leasable right now.
+func (t *leaseTable) lease(worker string, now time.Time) *shardEntry {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.state != statePending {
+			continue
+		}
+		t.seq++
+		e.state = stateLeased
+		e.leaseID = fmt.Sprintf("lease-%d", t.seq)
+		e.worker = worker
+		e.attempts++
+		e.leasedAt = now
+		e.deadline = now.Add(t.timeout)
+		return e
+	}
+	return nil
+}
+
+// byIndex returns the entry for a shard index, or nil when out of range.
+func (t *leaseTable) byIndex(i int) *shardEntry {
+	if i < 0 || i >= len(t.entries) {
+		return nil
+	}
+	return &t.entries[i]
+}
+
+// reject sends a shard whose submission failed validation back through the
+// state machine: pending for another try, or failed once the attempt
+// budget is gone.
+func (t *leaseTable) reject(e *shardEntry, reason string) {
+	e.lastErr = reason
+	e.leaseID = ""
+	if e.attempts >= t.maxAttempts {
+		e.state = stateFailed
+	} else {
+		e.state = statePending
+	}
+}
+
+// allDone reports whether every shard has an accepted result.
+func (t *leaseTable) allDone() bool {
+	for i := range t.entries {
+		if t.entries[i].state != stateDone {
+			return false
+		}
+	}
+	return true
+}
+
+// firstFailed returns the first failed entry, or nil.
+func (t *leaseTable) firstFailed() *shardEntry {
+	for i := range t.entries {
+		if t.entries[i].state == stateFailed {
+			return &t.entries[i]
+		}
+	}
+	return nil
+}

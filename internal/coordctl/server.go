@@ -1,0 +1,364 @@
+package coordctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"symbiosched/internal/experiments"
+)
+
+// ServerOptions configures a coordinator.
+type ServerOptions struct {
+	Campaign Campaign
+	// LeaseTimeout is how long a worker may hold a shard before it is
+	// re-dispatched (default 10 minutes — generous against Quick-scale
+	// shards, tight against a hung host).
+	LeaseTimeout time.Duration
+	// MaxAttempts bounds dispatches per shard before the campaign is
+	// declared failed (default 3).
+	MaxAttempts int
+	// Clock is a test hook (default time.Now).
+	Clock func() time.Time
+	// Logf, when set, receives one line per protocol event.
+	Logf func(format string, args ...any)
+}
+
+// Server is the campaign coordinator: the lease table, the streaming
+// merge, and the HTTP handler that exposes both.
+type Server struct {
+	opts  ServerOptions
+	mux   *http.ServeMux
+	state *serverState
+}
+
+// serverState is everything the handlers mutate, behind one mutex.
+type serverState struct {
+	mu       sync.Mutex
+	campaign Campaign
+	combos   int
+	table    *leaseTable
+	merger   *experiments.ShardMerger
+	start    time.Time
+	finished bool
+	failure  error
+	done     chan struct{}
+}
+
+func (st *serverState) lock()   { st.mu.Lock() }
+func (st *serverState) unlock() { st.mu.Unlock() }
+
+// NewServer validates the campaign and returns a coordinator ready to
+// serve. The campaign should come from NewCampaign so its fingerprints are
+// populated.
+func NewServer(opts ServerOptions) (*Server, error) {
+	if opts.Campaign.PoolHash == "" || opts.Campaign.ConfigHash == "" {
+		return nil, fmt.Errorf("coordctl: campaign fingerprints missing (build the campaign with NewCampaign)")
+	}
+	combos, err := opts.Campaign.Combos()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Campaign.ShardTotal > combos {
+		return nil, fmt.Errorf("coordctl: %d shards over %d combos leaves empty shards", opts.Campaign.ShardTotal, combos)
+	}
+	if opts.LeaseTimeout <= 0 {
+		opts.LeaseTimeout = 10 * time.Minute
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		opts: opts,
+		state: &serverState{
+			campaign: opts.Campaign,
+			combos:   combos,
+			table:    newLeaseTable(opts.Campaign.ShardTotal, opts.LeaseTimeout, opts.MaxAttempts),
+			merger:   experiments.NewShardMerger(),
+			start:    opts.Clock(),
+			done:     make(chan struct{}),
+		},
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /lease", s.handleLease)
+	s.mux.HandleFunc("POST /submit", s.handleSubmit)
+	s.mux.HandleFunc("GET /status", s.handleStatus)
+	s.mux.HandleFunc("GET /report", s.handleReport)
+	return s, nil
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Done is closed when the campaign finishes — every shard accepted, or a
+// shard failed permanently. Check Err afterwards.
+func (s *Server) Done() <-chan struct{} { return s.state.done }
+
+// Err returns the campaign's terminal error (nil on success). Valid after
+// Done is closed.
+func (s *Server) Err() error {
+	st := s.state
+	st.lock()
+	defer st.unlock()
+	return st.failure
+}
+
+// Report returns the final merged report; it errors while shards are
+// outstanding or after a failed campaign.
+func (s *Server) Report() (experiments.ImprovementReport, error) {
+	st := s.state
+	st.lock()
+	defer st.unlock()
+	if st.failure != nil {
+		return experiments.ImprovementReport{}, st.failure
+	}
+	return st.merger.Report()
+}
+
+// sweepExpiry advances the lease state machine to now. Called under the
+// lock by every handler, so stragglers are detected as soon as any worker
+// or status probe talks to us — the coordinator needs no background timer.
+func (s *Server) sweepExpiry(now time.Time) {
+	st := s.state
+	requeued, failed := st.table.expire(now)
+	for _, i := range requeued {
+		s.opts.Logf("coordinator: shard %d lease expired, re-dispatching (attempt %d of %d)",
+			i, st.table.entries[i].attempts, s.opts.MaxAttempts)
+	}
+	for _, i := range failed {
+		s.opts.Logf("coordinator: shard %d failed permanently: %s", i, st.table.entries[i].lastErr)
+	}
+	s.checkTerminal()
+}
+
+// checkTerminal moves the campaign to done/failed when the table says so.
+// Caller holds the lock.
+func (s *Server) checkTerminal() {
+	st := s.state
+	if st.finished {
+		return
+	}
+	if e := st.table.firstFailed(); e != nil {
+		st.failure = fmt.Errorf("coordctl: shard %d failed after %d attempts: %s", e.index, e.attempts, e.lastErr)
+		st.finished = true
+		close(st.done)
+		return
+	}
+	if st.table.allDone() && st.merger.Complete() {
+		st.finished = true
+		close(st.done)
+	}
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Worker string `json:"worker"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+		http.Error(w, "lease request must be JSON with a worker name", http.StatusBadRequest)
+		return
+	}
+	st := s.state
+	st.lock()
+	defer st.unlock()
+	now := s.opts.Clock()
+	s.sweepExpiry(now)
+	if st.finished {
+		writeJSONStatus(w, http.StatusGone, SubmitResult{Done: true, Error: errString(st.failure)})
+		return
+	}
+	e := st.table.lease(req.Worker, now)
+	if e == nil {
+		// Everything pending is leased or done; the worker should back
+		// off and ask again — it may inherit an expired lease.
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	s.opts.Logf("coordinator: shard %d/%d leased to %s (%s, attempt %d)",
+		e.index, st.campaign.ShardTotal, req.Worker, e.leaseID, e.attempts)
+	writeJSON(w, WorkUnit{
+		Campaign:   st.campaign,
+		ShardIndex: e.index,
+		LeaseID:    e.leaseID,
+		Attempt:    e.attempts,
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	leaseID := r.URL.Query().Get("lease")
+	var sh experiments.Shard
+	if err := json.NewDecoder(r.Body).Decode(&sh); err != nil {
+		http.Error(w, "submit body must be a shard JSON document", http.StatusBadRequest)
+		return
+	}
+	st := s.state
+	st.lock()
+	defer st.unlock()
+	now := s.opts.Clock()
+	s.sweepExpiry(now)
+
+	e := st.table.byIndex(sh.Index)
+	if e == nil || sh.Total != st.campaign.ShardTotal {
+		writeJSONStatus(w, http.StatusUnprocessableEntity, SubmitResult{
+			Error: fmt.Sprintf("shard %d/%d does not belong to this %d-shard campaign", sh.Index, sh.Total, st.campaign.ShardTotal)})
+		return
+	}
+	if e.state == stateDone {
+		// First valid result won; a straggler's duplicate is discarded.
+		s.opts.Logf("coordinator: shard %d duplicate from lease %s discarded (already done)", sh.Index, leaseID)
+		writeJSON(w, SubmitResult{Superseded: true, Done: st.finished})
+		return
+	}
+	if err := s.validate(sh); err != nil {
+		s.opts.Logf("coordinator: shard %d from %s rejected: %v", sh.Index, sh.Worker, err)
+		st.table.reject(e, err.Error())
+		s.checkTerminal()
+		writeJSONStatus(w, http.StatusUnprocessableEntity, SubmitResult{Error: err.Error()})
+		return
+	}
+	// Stamp lease provenance into the shard header before folding, so the
+	// merged campaign records who ran what on which attempt.
+	if sh.Worker == "" {
+		sh.Worker = e.worker
+	}
+	if sh.Attempt == 0 {
+		sh.Attempt = e.attempts
+	}
+	if err := st.merger.Add(sh); err != nil {
+		s.opts.Logf("coordinator: shard %d failed streaming merge: %v", sh.Index, err)
+		st.table.reject(e, err.Error())
+		s.checkTerminal()
+		writeJSONStatus(w, http.StatusUnprocessableEntity, SubmitResult{Error: err.Error()})
+		return
+	}
+	e.state = stateDone
+	e.worker = sh.Worker
+	e.elapsed = sh.ElapsedSeconds
+	e.lastErr = ""
+	s.checkTerminal()
+	s.opts.Logf("coordinator: shard %d accepted from %s (%.1fs, lease %s); %d/%d combos merged",
+		sh.Index, sh.Worker, sh.ElapsedSeconds, leaseID, st.merger.Covered(), st.combos)
+	writeJSON(w, SubmitResult{Accepted: true, Done: st.finished})
+}
+
+// validate checks a submission against the campaign before it reaches the
+// merger: fingerprints first (a misconfigured worker must be rejected even
+// on the very first submission, when the merger has no reference shard),
+// then the exact range geometry the lease implied.
+func (s *Server) validate(sh experiments.Shard) error {
+	st := s.state
+	if sh.Format != experiments.ShardFormat {
+		return fmt.Errorf("shard format %d, want %d: %w", sh.Format, experiments.ShardFormat, experiments.ErrShardFormat)
+	}
+	if sh.PoolHash != st.campaign.PoolHash {
+		return fmt.Errorf("pool hash %s, campaign %s: %w", sh.PoolHash, st.campaign.PoolHash, experiments.ErrShardCampaign)
+	}
+	if sh.ConfigHash != st.campaign.ConfigHash {
+		return fmt.Errorf("config hash %s, campaign %s: %w", sh.ConfigHash, st.campaign.ConfigHash, experiments.ErrShardCampaign)
+	}
+	if sh.TotalCombos != st.combos {
+		return fmt.Errorf("%d total combos, campaign has %d: %w", sh.TotalCombos, st.combos, experiments.ErrShardCampaign)
+	}
+	lo, hi := experiments.ShardRange(st.combos, sh.Index, st.campaign.ShardTotal)
+	if sh.ComboLo != lo || sh.ComboHi != hi {
+		return fmt.Errorf("shard %d range [%d,%d), lease implies [%d,%d): %w",
+			sh.Index, sh.ComboLo, sh.ComboHi, lo, hi, experiments.ErrShardTiling)
+	}
+	return nil
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.state
+	st.lock()
+	defer st.unlock()
+	now := s.opts.Clock()
+	s.sweepExpiry(now)
+	writeJSON(w, s.statusLocked(now))
+}
+
+// StatusSnapshot returns the same document /status serves (for in-process
+// callers like the coordinator CLI's progress line).
+func (s *Server) StatusSnapshot() Status {
+	st := s.state
+	st.lock()
+	defer st.unlock()
+	now := s.opts.Clock()
+	s.sweepExpiry(now)
+	return s.statusLocked(now)
+}
+
+func (s *Server) statusLocked(now time.Time) Status {
+	st := s.state
+	out := Status{
+		Figure:         st.campaign.Figure,
+		State:          "running",
+		ElapsedSeconds: now.Sub(st.start).Seconds(),
+		TotalCombos:    st.combos,
+		CombosCovered:  st.merger.Covered(),
+		Shards:         make([]ShardStatus, len(st.table.entries)),
+	}
+	if st.finished {
+		out.State = "done"
+		if st.failure != nil {
+			out.State = "failed"
+			out.Error = st.failure.Error()
+		}
+	}
+	for i := range st.table.entries {
+		e := &st.table.entries[i]
+		ss := ShardStatus{
+			Index:    e.index,
+			State:    e.state.String(),
+			Worker:   e.worker,
+			Attempts: e.attempts,
+			Error:    e.lastErr,
+		}
+		switch e.state {
+		case stateDone:
+			ss.ElapsedSeconds = e.elapsed
+		case stateLeased:
+			ss.ElapsedSeconds = now.Sub(e.leasedAt).Seconds()
+		}
+		out.Shards[i] = ss
+	}
+	if st.merger.Accepted() > 0 {
+		partial := st.merger.Partial()
+		out.Partial = &partial
+	}
+	return out
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	report, err := s.Report()
+	if err != nil {
+		writeJSONStatus(w, http.StatusConflict, SubmitResult{Error: err.Error()})
+		return
+	}
+	writeJSON(w, report)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

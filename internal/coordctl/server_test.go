@@ -1,0 +1,377 @@
+package coordctl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"symbiosched/internal/experiments"
+)
+
+// quickCampaign is the test campaign: the 5-benchmark quick-scale slice of
+// fig10 the shardcheck gate already uses (C(5,4) = 5 combos), cut into
+// `shards` shards.
+func quickCampaign(t *testing.T, shards int) Campaign {
+	t.Helper()
+	pool := []string{"povray", "gobmk", "hmmer", "libquantum", "sjeng"}
+	c, err := NewCampaign("fig10", true, 0, pool, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func newTestServer(t *testing.T, c Campaign, leaseTimeout time.Duration, maxAttempts int) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := NewServer(ServerOptions{
+		Campaign:     c,
+		LeaseTimeout: leaseTimeout,
+		MaxAttempts:  maxAttempts,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+// stubShard fabricates a header-valid shard for protocol-level tests that
+// must not pay for a real simulation. Outcomes are empty-but-counted, which
+// the merge accepts (it validates counts and headers, not physics).
+func stubShard(t *testing.T, c Campaign, idx int) experiments.Shard {
+	t.Helper()
+	combos, err := c.Combos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := experiments.ShardRange(combos, idx, c.ShardTotal)
+	spec, err := c.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(spec.Pool))
+	for i, p := range spec.Pool {
+		names[i] = p.Name
+	}
+	return experiments.Shard{
+		Format:      experiments.ShardFormat,
+		PoolHash:    c.PoolHash,
+		ConfigHash:  c.ConfigHash,
+		Pool:        names,
+		Policy:      spec.Policy.Name(),
+		MixSize:     spec.MixSize,
+		TotalCombos: combos,
+		ComboLo:     lo,
+		ComboHi:     hi,
+		Index:       idx,
+		Total:       c.ShardTotal,
+		Outcomes:    make([]experiments.MixOutcome, hi-lo),
+	}
+}
+
+// TestCoordinatorEndToEnd is the acceptance test for the distributed path:
+// a 3-shard campaign served to real workers over HTTP, with one worker
+// crashing mid-shard (it leases and never submits), must re-dispatch the
+// lost shard and produce an ImprovementReport byte-identical to the
+// single-process Sweep of the same campaign.
+func TestCoordinatorEndToEnd(t *testing.T) {
+	campaign := quickCampaign(t, 3)
+	srv, hs := newTestServer(t, campaign, 250*time.Millisecond, 5)
+
+	// The crash: lease a shard and abandon it, exactly what a worker dying
+	// mid-simulation looks like to the coordinator.
+	crashed := Client{BaseURL: hs.URL, Worker: "crash-victim"}
+	wu, err := crashed.Lease(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wu == nil {
+		t.Fatal("no work unit for the first worker")
+	}
+	lostShard := wu.ShardIndex
+
+	// Three healthy workers drain the campaign, re-dispatched shard
+	// included, through the real lease → SweepShard → submit loop.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := range errs {
+		w := &Worker{
+			Client:  Client{BaseURL: hs.URL, Worker: "worker-" + string(rune('a'+i))},
+			Workers: 1,
+			Backoff: Backoff{Base: 20 * time.Millisecond, Max: 200 * time.Millisecond},
+			Logf:    t.Logf,
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.Loop(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	select {
+	case <-srv.Done():
+	default:
+		t.Fatal("workers exited but campaign is not done")
+	}
+	if err := srv.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The state machine must record the crash: the lost shard went through
+	// at least two dispatch attempts and still completed.
+	st := srv.StatusSnapshot()
+	if st.State != "done" {
+		t.Fatalf("campaign state %q, want done", st.State)
+	}
+	if got := st.Shards[lostShard]; got.State != "done" || got.Attempts < 2 {
+		t.Fatalf("lost shard %d: state %s after %d attempts, want done after >= 2 (re-dispatch)",
+			lostShard, got.State, got.Attempts)
+	}
+	if st.CombosCovered != st.TotalCombos {
+		t.Fatalf("covered %d of %d combos", st.CombosCovered, st.TotalCombos)
+	}
+	for _, sh := range st.Shards {
+		if sh.Worker == "" || sh.Worker == "crash-victim" {
+			t.Fatalf("shard %d attributed to %q", sh.Index, sh.Worker)
+		}
+	}
+
+	// Byte-identical equivalence with the sequential sweep, compared
+	// through JSON so every float is checked exactly.
+	merged, err := srv.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := campaign.Config()
+	spec, err := campaign.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := cfg.Sweep(spec.Pool, spec.Policy, spec.MixSize, spec.Virt)
+	da, _ := json.Marshal(direct)
+	db, _ := json.Marshal(merged)
+	if string(da) != string(db) {
+		t.Fatalf("distributed report differs from sequential sweep:\ndirect: %s\nmerged: %s", da, db)
+	}
+}
+
+// TestCoordinatorRejectsMisconfiguredWorker pins the submission gate: a
+// shard whose config hash does not match the campaign is rejected with
+// ErrShardCampaign semantics (HTTP 422), never merged, and the shard is
+// re-dispatched rather than lost.
+func TestCoordinatorRejectsMisconfiguredWorker(t *testing.T) {
+	campaign := quickCampaign(t, 1)
+	srv, hs := newTestServer(t, campaign, time.Minute, 3)
+	cl := Client{BaseURL: hs.URL, Worker: "misconfigured"}
+	ctx := context.Background()
+
+	wu, err := cl.Lease(ctx)
+	if err != nil || wu == nil {
+		t.Fatalf("lease: %v %v", wu, err)
+	}
+	bad := stubShard(t, campaign, 0)
+	bad.ConfigHash = "deadbeefdeadbeef" // e.g. a worker built at a different commit, or run at a different scale
+	res, err := cl.Submit(ctx, wu.LeaseID, bad)
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("mis-hashed shard not rejected: res=%+v err=%v", res, err)
+	}
+	if !strings.Contains(res.Error, "config hash") {
+		t.Fatalf("rejection does not name the config hash: %q", res.Error)
+	}
+
+	st := srv.StatusSnapshot()
+	if st.CombosCovered != 0 {
+		t.Fatal("rejected shard leaked into the merge")
+	}
+	if st.Shards[0].State != "pending" {
+		t.Fatalf("rejected shard state %q, want pending (re-dispatch)", st.Shards[0].State)
+	}
+
+	// A correctly configured worker then completes the campaign.
+	good := Client{BaseURL: hs.URL, Worker: "good"}
+	wu2, err := good.Lease(ctx)
+	if err != nil || wu2 == nil {
+		t.Fatalf("re-lease: %v %v", wu2, err)
+	}
+	if wu2.Attempt != 2 {
+		t.Fatalf("re-dispatch attempt %d, want 2", wu2.Attempt)
+	}
+	res2, err := good.Submit(ctx, wu2.LeaseID, stubShard(t, campaign, 0))
+	if err != nil || !res2.Accepted || !res2.Done {
+		t.Fatalf("valid shard not accepted: res=%+v err=%v", res2, err)
+	}
+	if err := srv.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoordinatorDuplicateResolution pins the straggler story: when a
+// shard is re-dispatched and both workers eventually submit, the first
+// valid result is kept and the straggler is told "superseded", not given
+// an error or a second merge.
+func TestCoordinatorDuplicateResolution(t *testing.T) {
+	campaign := quickCampaign(t, 2)
+	srv, hs := newTestServer(t, campaign, 50*time.Millisecond, 3)
+	ctx := context.Background()
+
+	slow := Client{BaseURL: hs.URL, Worker: "straggler"}
+	wuSlow, err := slow.Lease(ctx)
+	if err != nil || wuSlow == nil {
+		t.Fatalf("lease: %v %v", wuSlow, err)
+	}
+	time.Sleep(80 * time.Millisecond) // let the lease expire
+
+	fast := Client{BaseURL: hs.URL, Worker: "fast"}
+	wuFast, err := fast.Lease(ctx)
+	if err != nil || wuFast == nil {
+		t.Fatalf("post-expiry lease: %v %v", wuFast, err)
+	}
+	if wuFast.ShardIndex != wuSlow.ShardIndex {
+		t.Fatalf("expired shard %d not re-dispatched first (got %d)", wuSlow.ShardIndex, wuFast.ShardIndex)
+	}
+	res, err := fast.Submit(ctx, wuFast.LeaseID, stubShard(t, campaign, wuFast.ShardIndex))
+	if err != nil || !res.Accepted {
+		t.Fatalf("fast submit: res=%+v err=%v", res, err)
+	}
+
+	// The streaming merge is live before the campaign completes.
+	st := srv.StatusSnapshot()
+	if st.CombosCovered == 0 || st.CombosCovered >= st.TotalCombos {
+		t.Fatalf("partial merge covers %d of %d combos, want strictly between", st.CombosCovered, st.TotalCombos)
+	}
+	if st.Partial == nil || st.Partial.Mixes != st.CombosCovered {
+		t.Fatalf("partial report %+v does not reflect %d covered combos", st.Partial, st.CombosCovered)
+	}
+
+	// The straggler finally finishes the same shard: superseded, no error.
+	resDup, err := slow.Submit(ctx, wuSlow.LeaseID, stubShard(t, campaign, wuSlow.ShardIndex))
+	if err != nil {
+		t.Fatalf("duplicate submit errored: %v", err)
+	}
+	if !resDup.Superseded || resDup.Accepted {
+		t.Fatalf("duplicate submission result %+v, want superseded", resDup)
+	}
+
+	// Drain the remaining shard and confirm completion.
+	wu2, err := fast.Lease(ctx)
+	if err != nil || wu2 == nil {
+		t.Fatalf("second lease: %v %v", wu2, err)
+	}
+	if _, err := fast.Submit(ctx, wu2.LeaseID, stubShard(t, campaign, wu2.ShardIndex)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-srv.Done():
+	default:
+		t.Fatal("campaign not done after all shards submitted")
+	}
+}
+
+// TestCoordinatorFailsAfterMaxAttempts pins the give-up path: a shard that
+// keeps timing out exhausts its dispatch budget and fails the campaign,
+// and workers are told to stop (410) rather than spin.
+func TestCoordinatorFailsAfterMaxAttempts(t *testing.T) {
+	campaign := quickCampaign(t, 1)
+	srv, hs := newTestServer(t, campaign, 10*time.Millisecond, 2)
+	cl := Client{BaseURL: hs.URL, Worker: "doomed"}
+	ctx := context.Background()
+
+	for attempt := 1; ; attempt++ {
+		wu, err := cl.Lease(ctx)
+		if errors.Is(err, ErrCampaignDone) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wu == nil {
+			time.Sleep(15 * time.Millisecond)
+			continue
+		}
+		if attempt > 2 {
+			t.Fatalf("shard dispatched %d times, budget was 2", attempt)
+		}
+		time.Sleep(15 * time.Millisecond) // hold the lease past its deadline
+	}
+	select {
+	case <-srv.Done():
+	case <-time.After(time.Second):
+		t.Fatal("campaign did not terminate")
+	}
+	if err := srv.Err(); err == nil || !strings.Contains(err.Error(), "failed after 2 attempts") {
+		t.Fatalf("campaign error %v, want permanent shard failure", err)
+	}
+	if _, err := srv.Report(); err == nil {
+		t.Fatal("failed campaign produced a report")
+	}
+	st := srv.StatusSnapshot()
+	if st.State != "failed" || st.Shards[0].State != "failed" {
+		t.Fatalf("status %s/%s, want failed/failed", st.State, st.Shards[0].State)
+	}
+}
+
+// TestWorkerLoopAgainstStubRun exercises the worker loop end to end with a
+// stubbed simulation: leases drain in order, provenance is stamped, and
+// the loop exits on campaign completion.
+func TestWorkerLoopAgainstStubRun(t *testing.T) {
+	campaign := quickCampaign(t, 3)
+	srv, hs := newTestServer(t, campaign, time.Minute, 3)
+	w := &Worker{
+		Client:  Client{BaseURL: hs.URL, Worker: "stubbed"},
+		Backoff: Backoff{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+		Run: func(cfg experiments.Config, spec experiments.SweepSpec) (experiments.Shard, error) {
+			return stubShard(t, campaign, cfg.ShardIndex), nil
+		},
+		Logf: t.Logf,
+	}
+	if err := w.Loop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.StatusSnapshot()
+	if st.State != "done" {
+		t.Fatalf("campaign state %q after worker loop", st.State)
+	}
+	for _, sh := range st.Shards {
+		if sh.Worker != "stubbed" || sh.Attempts != 1 {
+			t.Fatalf("shard %d: worker %q attempts %d, want stubbed/1", sh.Index, sh.Worker, sh.Attempts)
+		}
+	}
+}
+
+// TestWorkerGivesUpWhenCoordinatorGone pins the teardown story: a worker
+// polling a coordinator that has exited (connection refused, not 410) must
+// stop after its consecutive-failure budget instead of retrying forever.
+func TestWorkerGivesUpWhenCoordinatorGone(t *testing.T) {
+	hs := httptest.NewServer(nil)
+	url := hs.URL
+	hs.Close() // nothing listens here anymore
+
+	w := &Worker{
+		Client:      Client{BaseURL: url, Worker: "orphan"},
+		Backoff:     Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+		MaxFailures: 3,
+		Logf:        t.Logf,
+	}
+	err := w.Loop(context.Background())
+	if err == nil {
+		t.Fatal("Loop returned nil against a dead coordinator")
+	}
+	if !strings.Contains(err.Error(), "after 3 consecutive failures") {
+		t.Fatalf("Loop error %q does not name the failure budget", err)
+	}
+}

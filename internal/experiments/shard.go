@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -38,6 +39,27 @@ import (
 // layout changes.
 const ShardFormat = 1
 
+// Sentinel error classes for the shard protocol. Every rejection from
+// ReadShard, ShardMerger.Add and MergeShards wraps exactly one of these, so
+// callers (the coordinator in particular) can classify a failure with
+// errors.Is without parsing messages.
+var (
+	// ErrShardFormat marks a shard whose format version this build cannot
+	// read (or a file that is not a shard at all).
+	ErrShardFormat = errors.New("shard format mismatch")
+	// ErrShardCampaign marks a shard from a different campaign: pool hash,
+	// config hash, policy, mix size, virtualization flag or combo-space
+	// size disagree with the shards already accepted.
+	ErrShardCampaign = errors.New("shard campaign mismatch")
+	// ErrShardTiling marks ranges that cannot tile the combo space:
+	// duplicates, overlaps, out-of-bounds ranges, or — at report time —
+	// gaps left by missing shards.
+	ErrShardTiling = errors.New("shard ranges do not tile")
+	// ErrShardTruncated marks a shard whose outcome list does not match
+	// its declared combo range.
+	ErrShardTruncated = errors.New("shard outcomes truncated")
+)
+
 // Shard is one machine's slice of a sweep: the combos in [ComboLo, ComboHi)
 // of the lexicographic mixSize-combination enumeration of Pool, with a
 // header binding it to the campaign that produced it.
@@ -56,8 +78,15 @@ type Shard struct {
 	Total       int      `json:"shard_total"`
 	// ElapsedSeconds is the wall time the shard's simulation took — merge
 	// reports use it to spot load imbalance across machines.
-	ElapsedSeconds float64      `json:"elapsed_seconds"`
-	Outcomes       []MixOutcome `json:"outcomes"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Worker and Attempt are lease metadata stamped by the distributed
+	// coordinator (see internal/coordctl): which worker produced the shard
+	// and on which dispatch attempt. Pure provenance — both are execution
+	// parameters, excluded from campaign validation, and zero for shards
+	// produced by the manual -shard CLI path.
+	Worker   string       `json:"worker,omitempty"`
+	Attempt  int          `json:"attempt,omitempty"`
+	Outcomes []MixOutcome `json:"outcomes"`
 }
 
 // Combos returns the number of mixes in the shard.
@@ -71,6 +100,16 @@ func hashHex(parts ...string) string {
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
+
+// PoolHash returns the fingerprint a shard header carries for this
+// benchmark pool; the coordinator uses it to validate worker submissions.
+func PoolHash(names []string) string { return hashHex(names...) }
+
+// CampaignHash returns the fingerprint of this configuration's
+// simulation-affecting parameters — the value shard headers carry as
+// ConfigHash. Two builds that disagree on it would not produce comparable
+// outcomes and must not be merged.
+func (c Config) CampaignHash() string { return hashHex(c.campaignFingerprint()) }
 
 // campaignFingerprint canonicalises every Config field that shapes
 // simulation results. Workers, the shard geometry and OnTask are execution
@@ -145,12 +184,127 @@ func ReadShard(path string) (Shard, error) {
 	}
 	var s Shard
 	if err := json.Unmarshal(data, &s); err != nil {
-		return Shard{}, fmt.Errorf("experiments: %s: %w", path, err)
+		return Shard{}, fmt.Errorf("experiments: %s: not a shard file (%v): %w", path, err, ErrShardFormat)
 	}
 	if s.Format != ShardFormat {
-		return Shard{}, fmt.Errorf("experiments: %s: shard format %d, want %d", path, s.Format, ShardFormat)
+		return Shard{}, fmt.Errorf("experiments: %s: shard format %d, want %d: %w", path, s.Format, ShardFormat, ErrShardFormat)
 	}
 	return s, nil
+}
+
+// ShardMerger folds shards into a campaign report one at a time, in any
+// arrival order, with the same validation MergeShards applies in bulk. It
+// is the streaming half of the protocol: the distributed coordinator Adds
+// each accepted submission as it lands and serves Partial() from /status,
+// and once Complete() the Report() is — by construction — the same
+// reduction a single-process Sweep performs. Not safe for concurrent use;
+// callers serialize Adds.
+type ShardMerger struct {
+	ref      Shard // campaign header of the first accepted shard
+	accepted []Shard
+	covered  int
+}
+
+// NewShardMerger returns an empty merger; the first Add binds it to that
+// shard's campaign.
+func NewShardMerger() *ShardMerger { return &ShardMerger{} }
+
+// Add validates the shard against the campaign and the ranges already
+// folded, then accepts it. Rejections wrap ErrShardFormat,
+// ErrShardCampaign, ErrShardTiling or ErrShardTruncated and leave the
+// merger unchanged — a bad shard can always be retried or replaced.
+func (m *ShardMerger) Add(s Shard) error {
+	if s.Format != ShardFormat {
+		return fmt.Errorf("experiments: shard format %d, want %d: %w", s.Format, ShardFormat, ErrShardFormat)
+	}
+	if len(m.accepted) > 0 {
+		ref := m.ref
+		switch {
+		case s.PoolHash != ref.PoolHash:
+			return fmt.Errorf("experiments: pool hash %s vs %s: %w", s.PoolHash, ref.PoolHash, ErrShardCampaign)
+		case s.ConfigHash != ref.ConfigHash:
+			return fmt.Errorf("experiments: config hash %s vs %s: %w", s.ConfigHash, ref.ConfigHash, ErrShardCampaign)
+		case s.Policy != ref.Policy, s.MixSize != ref.MixSize, s.Virtual != ref.Virtual, s.TotalCombos != ref.TotalCombos:
+			return fmt.Errorf("experiments: campaign %s/%d/%v/%d vs %s/%d/%v/%d: %w",
+				s.Policy, s.MixSize, s.Virtual, s.TotalCombos, ref.Policy, ref.MixSize, ref.Virtual, ref.TotalCombos, ErrShardCampaign)
+		}
+	}
+	if s.ComboHi < s.ComboLo || s.ComboLo < 0 || s.ComboHi > s.TotalCombos {
+		return fmt.Errorf("experiments: shard range [%d,%d) out of bounds of %d combos: %w", s.ComboLo, s.ComboHi, s.TotalCombos, ErrShardTiling)
+	}
+	for _, a := range m.accepted {
+		if s.ComboLo < a.ComboHi && a.ComboLo < s.ComboHi {
+			return fmt.Errorf("experiments: shard range [%d,%d) overlaps accepted [%d,%d): %w", s.ComboLo, s.ComboHi, a.ComboLo, a.ComboHi, ErrShardTiling)
+		}
+	}
+	if len(s.Outcomes) != s.Combos() {
+		return fmt.Errorf("experiments: shard [%d,%d) has %d outcomes, want %d: %w", s.ComboLo, s.ComboHi, len(s.Outcomes), s.Combos(), ErrShardTruncated)
+	}
+	if len(m.accepted) == 0 {
+		m.ref = s
+	}
+	m.accepted = append(m.accepted, s)
+	m.covered += s.Combos()
+	return nil
+}
+
+// Accepted returns how many shards have been folded in.
+func (m *ShardMerger) Accepted() int { return len(m.accepted) }
+
+// Covered returns how many combos the accepted shards span.
+func (m *ShardMerger) Covered() int { return m.covered }
+
+// Total returns the campaign's combo-space size (0 before the first Add).
+func (m *ShardMerger) Total() int {
+	if len(m.accepted) == 0 {
+		return 0
+	}
+	return m.ref.TotalCombos
+}
+
+// Complete reports whether the accepted shards tile the whole combo space.
+// Overlaps are rejected at Add, so covered == total implies an exact tiling.
+func (m *ShardMerger) Complete() bool {
+	return len(m.accepted) > 0 && m.covered == m.ref.TotalCombos
+}
+
+// Partial reduces whatever has been accepted so far into an improvement
+// report over the covered combos — the streaming view /status serves while
+// a campaign is in flight. Mixes reflects the covered count, so a partial
+// report is visibly partial. Once Complete, Partial is the final report.
+func (m *ShardMerger) Partial() ImprovementReport {
+	if len(m.accepted) == 0 {
+		return ImprovementReport{}
+	}
+	sorted := append([]Shard(nil), m.accepted...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ComboLo < sorted[j].ComboLo })
+	outcomes := make([]MixOutcome, 0, m.covered)
+	for _, s := range sorted {
+		outcomes = append(outcomes, s.Outcomes...)
+	}
+	return reduceOutcomes(m.ref.Pool, m.ref.Policy, m.ref.Virtual, m.ref.MixSize, m.covered, outcomes)
+}
+
+// Report returns the campaign's final report, or an ErrShardTiling-wrapped
+// error naming the first missing combo while shards are still outstanding.
+func (m *ShardMerger) Report() (ImprovementReport, error) {
+	if len(m.accepted) == 0 {
+		return ImprovementReport{}, fmt.Errorf("experiments: no shards to merge")
+	}
+	if !m.Complete() {
+		sorted := append([]Shard(nil), m.accepted...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].ComboLo < sorted[j].ComboLo })
+		next := 0
+		for _, s := range sorted {
+			if s.ComboLo != next {
+				break
+			}
+			next = s.ComboHi
+		}
+		return ImprovementReport{}, fmt.Errorf("experiments: shards cover %d of %d combos (combo %d missing): %w",
+			m.covered, m.ref.TotalCombos, next, ErrShardTiling)
+	}
+	return m.Partial(), nil
 }
 
 // MergeShards validates that the shards belong to one campaign and exactly
@@ -158,44 +312,19 @@ func ReadShard(path string) (Shard, error) {
 // reduction Sweep uses — into the sweep's ImprovementReport. The input
 // order is irrelevant (shards are sorted by range); duplicates, gaps,
 // overlaps, truncated outcome lists and cross-campaign mixtures are all
-// rejected with a diagnostic.
+// rejected with a diagnostic wrapping the matching sentinel error. It is
+// the batch form of ShardMerger, which the streaming coordinator uses.
 func MergeShards(shards []Shard) (ImprovementReport, error) {
 	if len(shards) == 0 {
 		return ImprovementReport{}, fmt.Errorf("experiments: no shards to merge")
 	}
-	ref := shards[0]
-	for _, s := range shards[1:] {
-		switch {
-		case s.PoolHash != ref.PoolHash:
-			return ImprovementReport{}, fmt.Errorf("experiments: shard pool mismatch: %s vs %s", s.PoolHash, ref.PoolHash)
-		case s.ConfigHash != ref.ConfigHash:
-			return ImprovementReport{}, fmt.Errorf("experiments: shard config mismatch: %s vs %s", s.ConfigHash, ref.ConfigHash)
-		case s.Policy != ref.Policy, s.MixSize != ref.MixSize, s.Virtual != ref.Virtual, s.TotalCombos != ref.TotalCombos:
-			return ImprovementReport{}, fmt.Errorf("experiments: shard campaign mismatch: %s/%d/%v/%d vs %s/%d/%v/%d",
-				s.Policy, s.MixSize, s.Virtual, s.TotalCombos, ref.Policy, ref.MixSize, ref.Virtual, ref.TotalCombos)
+	m := NewShardMerger()
+	for _, s := range shards {
+		if err := m.Add(s); err != nil {
+			return ImprovementReport{}, err
 		}
 	}
-	sorted := append([]Shard(nil), shards...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ComboLo < sorted[j].ComboLo })
-	outcomes := make([]MixOutcome, 0, ref.TotalCombos)
-	next := 0
-	for _, s := range sorted {
-		if s.ComboLo != next {
-			return ImprovementReport{}, fmt.Errorf("experiments: shard ranges do not tile: combo %d missing or duplicated (next shard starts at %d)", next, s.ComboLo)
-		}
-		if s.ComboHi < s.ComboLo || s.ComboHi > s.TotalCombos {
-			return ImprovementReport{}, fmt.Errorf("experiments: shard range [%d,%d) out of bounds", s.ComboLo, s.ComboHi)
-		}
-		if len(s.Outcomes) != s.Combos() {
-			return ImprovementReport{}, fmt.Errorf("experiments: shard [%d,%d) has %d outcomes, want %d", s.ComboLo, s.ComboHi, len(s.Outcomes), s.Combos())
-		}
-		outcomes = append(outcomes, s.Outcomes...)
-		next = s.ComboHi
-	}
-	if next != ref.TotalCombos {
-		return ImprovementReport{}, fmt.Errorf("experiments: shards cover %d of %d combos", next, ref.TotalCombos)
-	}
-	return reduceOutcomes(ref.Pool, ref.Policy, ref.Virtual, ref.MixSize, ref.TotalCombos, outcomes), nil
+	return m.Report()
 }
 
 // MergeShardFiles reads every file matching the glob and merges them. It
