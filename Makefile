@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci lint vet build test race shardcheck benchsmoke benchgate bench clean
+.PHONY: ci lint vet build test race shardcheck tracecheck benchsmoke benchgate bench clean
 
-ci: lint build race shardcheck benchsmoke
+ci: lint build race shardcheck tracecheck benchsmoke
 
 # Style gate: gofmt must be clean, vet must pass, and staticcheck runs when
 # the host has it (CI and dev boxes without it still get the first two).
@@ -41,6 +41,15 @@ race:
 shardcheck:
 	$(GO) test -count=1 -run 'TestShardMergeEquivalence|TestWorkersInvariance' ./internal/experiments
 	$(GO) test -count=1 -run 'TestCoordinatorEndToEnd' ./internal/coordctl
+
+# The trace-replay contract, uncached: the codec round-trips (including the
+# fuzz corpus), the bulk replay loop is bit-identical to the per-instruction
+# interface path and to the synthetic generator fast path, streaming replay
+# matches compiled replay at O(buffer) memory, and trace-driven pools run
+# through the sweep/shard plumbing with content-bound pool hashes.
+tracecheck:
+	$(GO) test -count=1 -run 'TestReader|TestCompile|TestCorrupt|TestTruncated|TestRunReplay|TestStreamReplay|TestBatchReplay|FuzzTraceRoundTrip' ./internal/trace
+	$(GO) test -count=1 -run 'TestTrace|TestSelectProfiles|TestArenaVirt' ./internal/experiments
 
 # One iteration of every benchmark: catches bit-rot in the bench suite (and
 # regenerates each figure once) without committing to real measurement time.

@@ -35,6 +35,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run at test scale")
 	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
 	poolFlag := flag.String("pool", "", "comma-separated benchmark subset (default: the figure's pool)")
+	traceDir := flag.String("trace-dir", "", "replace the figure's pool with the *.trc captures in this directory (must be present on every worker)")
 	leaseTimeout := flag.Duration("lease-timeout", 10*time.Minute, "re-dispatch a shard when its lease is this old")
 	maxAttempts := flag.Int("max-attempts", 3, "dispatch attempts per shard before the campaign fails")
 	statusEvery := flag.Duration("status-every", 15*time.Second, "progress line period on stderr (0 disables)")
@@ -49,13 +50,17 @@ func main() {
 	if *poolFlag != "" {
 		for _, n := range strings.Split(*poolFlag, ",") {
 			n = strings.TrimSpace(n)
-			if _, err := workload.ByName(n); err != nil {
-				fatal(err)
+			// Trace pools carry their own names; NewCampaign validates the
+			// subset against the directory listing instead.
+			if *traceDir == "" {
+				if _, err := workload.ByName(n); err != nil {
+					fatal(err)
+				}
 			}
 			pool = append(pool, n)
 		}
 	}
-	campaign, err := coordctl.NewCampaign(*figure, *quick, *seed, pool, *shards)
+	campaign, err := coordctl.NewCampaign(*figure, *quick, *seed, pool, *traceDir, *shards)
 	if err != nil {
 		fatal(err)
 	}

@@ -16,6 +16,9 @@
 //	-seed N       workload seed
 //	-workers N    simulation parallelism (default GOMAXPROCS)
 //	-pool a,b,c   restrict the benchmark pool for fig10/fig11/fig12
+//	-trace-dir d  sweep over captured traces (cmd/tracegen) instead of the
+//	              synthetic pool; -pool then filters by trace name
+//	-trace-stream N  stream traces with an N-run buffer (multi-GB captures)
 //	-progress     print live task throughput and worker utilization to stderr
 //	-cpuprofile f write a CPU profile of the experiment to f
 //	-memprofile f write an end-of-run heap profile to f
@@ -60,6 +63,8 @@ func main() {
 	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
 	workers := flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
 	poolFlag := flag.String("pool", "", "comma-separated benchmark subset for the sweeps")
+	traceDir := flag.String("trace-dir", "", "replace the sweep pool with the *.trc captures in this directory (fig10-style sweeps and shards)")
+	traceStream := flag.Int("trace-stream", 0, "with -trace-dir: stream traces through an N-run decode-ahead buffer instead of compiling them into memory (0 = compile)")
 	shardFlag := flag.String("shard", "", "run one sweep shard, as i/N (fig10/fig11/fig12 only)")
 	outFlag := flag.String("out", "", "shard output path (default <fig>-shard-<i>of<N>.json)")
 	mergeFlag := flag.String("merge", "", "merge shard files matching this glob and print the report")
@@ -128,7 +133,7 @@ func main() {
 		defer prog.summary()
 	}
 
-	pool, err := parsePool(*poolFlag)
+	pool, err := resolvePool(*poolFlag, *traceDir, *traceStream)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -241,19 +246,46 @@ func main() {
 	}
 }
 
-// parsePool resolves a comma-separated benchmark list; empty means the full
-// default pool for each experiment.
-func parsePool(s string) ([]workload.Profile, error) {
-	if s == "" {
-		return nil, nil
+// resolvePool builds the benchmark pool the sweeps run over. Without
+// -trace-dir it resolves the comma-separated -pool names against the
+// synthetic catalog (empty means each experiment's default pool). With
+// -trace-dir the pool is the directory's trace captures — compiled into
+// shared run-length form, or streamed through bounded buffers when
+// -trace-stream is set — and -pool filters it by trace name.
+func resolvePool(s, traceDir string, streamRuns int) ([]workload.Profile, error) {
+	var names []string
+	if s != "" {
+		for _, n := range strings.Split(s, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
 	}
 	var out []workload.Profile
-	for _, name := range strings.Split(s, ",") {
-		p, err := workload.ByName(strings.TrimSpace(name))
+	switch {
+	case traceDir != "":
+		var err error
+		if streamRuns > 0 {
+			out, err = experiments.StreamingTracePoolFromDir(traceDir, streamRuns)
+		} else {
+			out, err = experiments.TracePoolFromDir(traceDir)
+		}
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, p)
+		if names != nil {
+			if out, err = experiments.SelectProfiles(out, names); err != nil {
+				return nil, err
+			}
+		}
+	case names != nil:
+		for _, name := range names {
+			p, err := workload.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	default:
+		return nil, nil
 	}
 	if len(out) < 4 {
 		return nil, fmt.Errorf("pool needs at least 4 benchmarks, got %d", len(out))

@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 
+	"symbiosched/internal/bitvec"
 	"symbiosched/internal/trace"
 	"symbiosched/internal/workload"
 )
@@ -61,17 +62,50 @@ func doCapture(bench, out string, n, div, seed uint64) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := trace.Capture(gens[0], n, f); err != nil {
+		f.Close()
 		return err
 	}
 	st, err := f.Stat()
 	if err != nil {
+		f.Close()
+		return err
+	}
+	// Close exactly once, and only after the capture flushed: the close error
+	// is the write error on a full disk.
+	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("captured %d instructions of %s (thread 0/%d) to %s (%d bytes)\n",
 		n, bench, len(gens), out, st.Size())
-	return f.Close()
+	return nil
+}
+
+// pageLines is the line granularity of the inspect line set: one bitvec page
+// covers 2 MiB of address space in 4 KiB of memory, so the set's footprint is
+// proportional to the trace's touched address *pages* — bounded and ~50×
+// denser than the map[line]bool it replaced — instead of one multi-byte map
+// entry per distinct line.
+const pageLines = 1 << 15
+
+// lineSet is a paged bit set over cache-line numbers.
+type lineSet map[uint64]*bitvec.Vector
+
+func (s lineSet) add(line uint64) {
+	page := s[line/pageLines]
+	if page == nil {
+		page = bitvec.New(pageLines)
+		s[line/pageLines] = page
+	}
+	page.Set(int(line % pageLines))
+}
+
+func (s lineSet) count() uint64 {
+	var n uint64
+	for _, page := range s {
+		n += uint64(page.PopCount())
+	}
+	return n
 }
 
 func doInspect(path string) error {
@@ -81,45 +115,46 @@ func doInspect(path string) error {
 	}
 	defer f.Close()
 	r := trace.NewReader(f)
-	var instr, mem uint64
-	lines := map[uint64]bool{}
+	var instr, mem, tail, longestRun uint64
+	lines := lineSet{}
 	var lo, hi uint64
 	first := true
 	for {
-		ref, err := r.Next()
+		skip, line, isMem, err := r.NextRun()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return err
 		}
-		instr++
-		if ref.Mem {
-			mem++
-			line := ref.Addr >> 6
-			lines[line] = true
-			if first || line < lo {
-				lo = line
-			}
-			if first || line > hi {
-				hi = line
-			}
-			first = false
+		instr += skip
+		if skip > longestRun {
+			longestRun = skip
 		}
+		if !isMem {
+			tail += skip
+			continue
+		}
+		instr++
+		mem++
+		lines.add(line)
+		if first || line < lo {
+			lo = line
+		}
+		if first || line > hi {
+			hi = line
+		}
+		first = false
 	}
+	distinct := lines.count()
 	fmt.Printf("%s: %d instructions, %d memory refs (%.1f%%), %d distinct lines",
-		path, instr, mem, 100*float64(mem)/float64(max64(instr, 1)), len(lines))
+		path, instr, mem, 100*float64(mem)/float64(max(instr, 1)), distinct)
 	if !first {
-		fmt.Printf(", footprint %d KiB, line range [%#x, %#x]",
-			uint64(len(lines))*64/1024, lo, hi)
+		avgRun := float64(instr-mem-tail) / float64(mem)
+		fmt.Printf(", footprint %d KiB, line range [%#x, %#x]", distinct*64/1024, lo, hi)
+		fmt.Printf("\n%s: %d runs (avg %.1f computes/run, longest %d), %d trailing computes, compiled size %d KiB",
+			path, mem, avgRun, longestRun, tail, mem*16/1024)
 	}
 	fmt.Println()
 	return nil
-}
-
-func max64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -40,33 +40,36 @@ import (
 // Campaign is the self-describing work order a coordinator serves with
 // every lease: enough for a worker with the same build to reconstruct the
 // exact sweep, plus the fingerprints that let both sides detect when it
-// cannot. Pool is empty when the figure's default pool applies.
+// cannot. Pool is empty when the figure's default pool applies. TraceDir,
+// when set, replaces the figure's synthetic pool with the trace captures in
+// that directory — the path must resolve to byte-identical traces on every
+// worker (the pool hash covers each file's content fingerprint, so a worker
+// with stale captures is rejected at submit, not merged).
 type Campaign struct {
 	Figure     string   `json:"figure"`
 	Quick      bool     `json:"quick"`
 	Seed       uint64   `json:"seed,omitempty"`
 	Pool       []string `json:"pool,omitempty"`
+	TraceDir   string   `json:"trace_dir,omitempty"`
 	ShardTotal int      `json:"shard_total"`
 	PoolHash   string   `json:"pool_hash"`
 	ConfigHash string   `json:"config_hash"`
 }
 
 // NewCampaign resolves the figure and pool, computes the fingerprints and
-// returns the ready-to-serve campaign descriptor.
-func NewCampaign(figure string, quick bool, seed uint64, pool []string, shardTotal int) (Campaign, error) {
+// returns the ready-to-serve campaign descriptor. A non-empty traceDir makes
+// the campaign trace-driven (see Campaign.TraceDir); pool then filters the
+// trace pool by name instead of naming synthetic benchmarks.
+func NewCampaign(figure string, quick bool, seed uint64, pool []string, traceDir string, shardTotal int) (Campaign, error) {
 	if shardTotal < 1 {
 		return Campaign{}, fmt.Errorf("coordctl: campaign needs at least 1 shard, got %d", shardTotal)
 	}
-	c := Campaign{Figure: figure, Quick: quick, Seed: seed, Pool: pool, ShardTotal: shardTotal}
+	c := Campaign{Figure: figure, Quick: quick, Seed: seed, Pool: pool, TraceDir: traceDir, ShardTotal: shardTotal}
 	spec, err := c.Spec()
 	if err != nil {
 		return Campaign{}, err
 	}
-	names := make([]string, len(spec.Pool))
-	for i, p := range spec.Pool {
-		names[i] = p.Name
-	}
-	c.PoolHash = experiments.PoolHash(names)
+	c.PoolHash = experiments.PoolHashProfiles(spec.Pool)
 	c.ConfigHash = c.Config().CampaignHash()
 	return c, nil
 }
@@ -85,14 +88,28 @@ func (c Campaign) Config() experiments.Config {
 	return cfg
 }
 
-// Spec resolves the campaign's figure to its sweep spec, applying the pool
-// override when the campaign restricts it.
+// Spec resolves the campaign's figure to its sweep spec, applying the trace
+// pool and/or the pool restriction when the campaign carries them. Trace
+// campaigns load compiled pools: shard workers run thousands of mixes over a
+// handful of traces, so the shared one-time decode is the right trade.
 func (c Campaign) Spec() (experiments.SweepSpec, error) {
 	spec, err := experiments.SweepSpecFor(c.Figure)
 	if err != nil {
 		return spec, err
 	}
-	if len(c.Pool) > 0 {
+	switch {
+	case c.TraceDir != "":
+		pool, err := experiments.TracePoolFromDir(c.TraceDir)
+		if err != nil {
+			return spec, err
+		}
+		if len(c.Pool) > 0 {
+			if pool, err = experiments.SelectProfiles(pool, c.Pool); err != nil {
+				return spec, err
+			}
+		}
+		spec.Pool = pool
+	case len(c.Pool) > 0:
 		pool := make([]workload.Profile, 0, len(c.Pool))
 		for _, n := range c.Pool {
 			p, err := workload.ByName(n)

@@ -19,7 +19,7 @@ import (
 func quickCampaign(t *testing.T, shards int) Campaign {
 	t.Helper()
 	pool := []string{"povray", "gobmk", "hmmer", "libquantum", "sjeng"}
-	c, err := NewCampaign("fig10", true, 0, pool, shards)
+	c, err := NewCampaign("fig10", true, 0, pool, "", shards)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -62,17 +62,23 @@ type Config struct {
 	Background BackgroundConfig
 }
 
-// BackgroundConfig describes per-core service activity (see Config).
+// BackgroundConfig describes per-core service activity (see Config). Gen is
+// a value-typed descriptor rather than a generator factory so that a config
+// with background activity stays comparable — the experiments arenas key
+// cached machines by configuration, and the virtualized sweeps (which always
+// carry Dom0 background work) would otherwise pay full machine construction
+// on every run.
 type BackgroundConfig struct {
 	Period uint64
 	Ops    uint64
-	// MakeGen builds the per-core background instruction generator; called
-	// once per core at machine construction.
-	MakeGen func(core int) *workload.Generator
+	// Gen describes the per-core background instruction stream; generators
+	// are built once per core at machine construction and rewound in place
+	// on Machine.Reset.
+	Gen workload.BackgroundSpec
 }
 
 func (b BackgroundConfig) enabled() bool {
-	return b.Period > 0 && b.Ops > 0 && b.MakeGen != nil
+	return b.Period > 0 && b.Ops > 0 && b.Gen.Enabled()
 }
 
 func (c Config) withDefaults() Config {
@@ -174,7 +180,7 @@ func New(cfg Config, procs []*kernel.Process) *Machine {
 	}
 	if cfg.Background.enabled() {
 		for c := range m.cores {
-			m.cores[c].bgGen = cfg.Background.MakeGen(c)
+			m.cores[c].bgGen = cfg.Background.Gen.NewGenerator(c)
 			m.cores[c].nextBg = cfg.Background.Period
 		}
 	}
@@ -190,7 +196,7 @@ func New(cfg Config, procs []*kernel.Process) *Machine {
 // thousands of runs; any new mutable field added to Machine or coreState
 // must be reset here. Initial affinities are taken from each thread's
 // Affinity field, exactly as in New. Per-core background generators are
-// rebuilt through MakeGen so their streams restart from scratch.
+// rewound in place so their streams restart from scratch.
 func (m *Machine) Reset(procs []*kernel.Process) {
 	m.hier.Reset()
 	for _, u := range m.units {
@@ -200,10 +206,11 @@ func (m *Machine) Reset(procs []*kernel.Process) {
 	m.threads = kernel.Threads(procs)
 	for c := range m.cores {
 		cs := &m.cores[c]
-		queue := cs.queue[:0]
+		queue, bg := cs.queue[:0], cs.bgGen
 		*cs = coreState{queue: queue}
-		if m.cfg.Background.enabled() {
-			cs.bgGen = m.cfg.Background.MakeGen(c)
+		if bg != nil {
+			bg.Reset()
+			cs.bgGen = bg
 			cs.nextBg = m.cfg.Background.Period
 		}
 	}
@@ -501,9 +508,12 @@ func (m *Machine) step(c int) uint64 {
 	case m.cfg.AccessHook != nil:
 		cycles = m.batchHooked(cs, t, c, n, num, den)
 	default:
-		if gen, ok := t.Gen.(*workload.Generator); ok {
+		switch gen := t.Gen.(type) {
+		case *workload.Generator:
 			cycles = m.batchGen(cs, t, gen, c, n, num, den)
-		} else {
+		case workload.RunSource:
+			cycles = m.batchReplay(cs, t, gen, c, n, num, den)
+		default:
 			cycles = m.batchSrc(cs, t, t.Gen, c, n, num, den)
 		}
 	}
@@ -523,7 +533,8 @@ func (m *Machine) step(c int) uint64 {
 // operation; the compute instructions between memory operations are retired
 // in bulk at one cycle each. Observable state (cycles, retirement counts,
 // completion times, cache traffic) is bit-identical to the per-instruction
-// loop in batchSrc — keep the two in sync.
+// loop in batchSrc — keep the two (and batchReplay, the RunSource twin of
+// this loop) in sync.
 func (m *Machine) batchGen(cs *coreState, t *kernel.Thread, gen *workload.Generator, c, n int, num, den uint64) uint64 {
 	// The two hierarchy levels are hoisted to concrete cache pointers: the
 	// per-access walk is two direct calls with no wrapper frame, matching
@@ -599,6 +610,84 @@ func (m *Machine) batchGen(cs *coreState, t *kernel.Thread, gen *workload.Genera
 	// Credit the cache statistics accumulated in registers (AccessFast does
 	// not count): L1 sees every memory reference and misses exactly the L2
 	// references; L2 misses are the memory accesses.
+	l1.AddCoreStats(c, memRefs-l2Refs, l2Refs)
+	l2.AddCoreStats(c, l2Refs-l2Misses, l2Misses)
+	return cycles
+}
+
+// batchReplay is batchGen for bulk-capable non-synthetic sources
+// (workload.RunSource — compiled and streaming trace replays): the identical
+// loop body over the RunSource interface instead of the concrete generator
+// pointer, so replay pays one interface call per memory operation rather
+// than one per instruction. Observable state is bit-identical to feeding the
+// same stream through batchSrc — keep all three loops in sync.
+//
+// The body is a deliberate duplicate of batchGen rather than a shared
+// generic: a gcshape-stenciled batchRun[S] would demote the *Generator case
+// to dictionary-indirect calls, regressing the synthetic hot path the
+// concrete loop exists for.
+func (m *Machine) batchReplay(cs *coreState, t *kernel.Thread, gen workload.RunSource, c, n int, num, den uint64) uint64 {
+	l1, l2 := m.hier.L1For(c), m.hier.L2For(c)
+	l1Cost, l2Cost := m.cfg.L1Cost, m.cfg.L2Cost
+	memCost, prefCost := m.cfg.MemCost, m.cfg.PrefetchCost
+	target, retired := t.InstrTarget, t.InstrRetired
+	lastMiss := cs.lastMissLine
+	var memRefs, l2Refs, l2Misses uint64
+	var cycles uint64
+	i := 0
+	for i < n {
+		skip, addr, mem := gen.NextRun(n - i)
+		if skip > 0 {
+			i += skip
+			left := uint64(skip)
+			for left >= target-retired {
+				done := target - retired
+				left -= done
+				cycles += done
+				if t.Runs == 0 {
+					t.CompletionUser = t.UserCycles + cycles*num/den
+				}
+				t.Runs++
+				retired = 0
+			}
+			retired += left
+			cycles += left
+		}
+		if !mem {
+			break
+		}
+		i++
+		memRefs++
+		cost := uint64(1)
+		if l1.AccessFast(c, addr) {
+			cost += l1Cost
+		} else if l2Refs++; l2.AccessFast(c, addr) {
+			cost += l2Cost
+		} else {
+			l2Misses++
+			line := addr >> 6
+			if line == lastMiss+1 {
+				cost += prefCost
+			} else {
+				cost += memCost
+			}
+			lastMiss = line
+		}
+		cycles += cost
+		retired++
+		if retired >= target {
+			if t.Runs == 0 {
+				t.CompletionUser = t.UserCycles + cycles*num/den
+			}
+			t.Runs++
+			retired = 0
+		}
+	}
+	t.InstrRetired = retired
+	t.MemRefs += memRefs
+	t.L2Refs += l2Refs
+	t.L2Misses += l2Misses
+	cs.lastMissLine = lastMiss
 	l1.AddCoreStats(c, memRefs-l2Refs, l2Refs)
 	l2.AddCoreStats(c, l2Refs-l2Misses, l2Misses)
 	return cycles

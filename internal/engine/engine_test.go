@@ -311,13 +311,13 @@ func TestBackgroundActivityConsumesWallTimeNotUserTime(t *testing.T) {
 			cfg.Background = BackgroundConfig{
 				Period: 200_000,
 				Ops:    1_000,
-				MakeGen: func(core int) *workload.Generator {
-					return workload.NewGenerator(workload.GeneratorConfig{
-						Pattern:  &workload.StreamPattern{Region: 1 << 20},
-						MemRatio: 0.4,
-						Base:     uint64(200+core) << 40,
-						Seed:     uint64(core + 1),
-					})
+				Gen: workload.BackgroundSpec{
+					Pattern:    "stream",
+					Region:     1 << 20,
+					MemRatio:   0.4,
+					Base:       uint64(200) << 40,
+					CoreStride: uint64(1) << 40,
+					Seed:       0, // core c draws Seed^(c+1), matching the old closure
 				},
 			}
 		}

@@ -38,9 +38,11 @@ type simArena struct {
 }
 
 // engineKey is the comparable projection of engine.Config: every field that
-// shapes simulation results, minus the function-valued fields (AccessHook,
-// Background.MakeGen) that make the config itself uncomparable. Configs with
-// function fields set bypass the arena entirely (see machine).
+// shapes simulation results, minus the function-valued AccessHook that makes
+// the config itself uncomparable. Background is value-typed (the Dom0
+// descriptor), so virtualized configurations key — and therefore cache —
+// like native ones; only hook-instrumented configs bypass the arena (see
+// machine).
 type engineKey struct {
 	hier             cache.HierarchyConfig
 	sig              bloom.Config
@@ -49,6 +51,7 @@ type engineKey struct {
 	l1, l2, mem, pf  uint64
 	switchCost       uint64
 	disableSignature bool
+	background       engine.BackgroundConfig
 }
 
 func keyOf(ec engine.Config) engineKey {
@@ -63,6 +66,7 @@ func keyOf(ec engine.Config) engineKey {
 		pf:               ec.PrefetchCost,
 		switchCost:       ec.SwitchCost,
 		disableSignature: ec.DisableSignature,
+		background:       ec.Background,
 	}
 }
 
@@ -73,11 +77,16 @@ func getArena() *simArena  { return arenaPool.Get().(*simArena) }
 func putArena(a *simArena) { arenaPool.Put(a) }
 
 // workloadKey identifies a workload build: the profile identities plus the
-// seed and scale that parameterise kernel.Workload.
+// seed and scale that parameterise kernel.Workload. Trace-driven profiles
+// carry a content fingerprint alongside the name, so two trace pools that
+// reuse a benchmark name can never alias in the cache.
 func workloadKey(profiles []workload.Profile, seed uint64, sc workload.Scale) string {
 	key := fmt.Sprintf("%d/%d/%d", seed, sc.Region, sc.Instr)
 	for _, p := range profiles {
 		key += "|" + p.Name
+		if p.Fingerprint != "" {
+			key += "#" + p.Fingerprint
+		}
 	}
 	return key
 }
@@ -97,11 +106,11 @@ func (a *simArena) workload(c Config, profiles []workload.Profile) []*kernel.Pro
 
 // machine returns a machine for ec loaded with procs: the cached machine
 // (reset in place) when one exists for this configuration, a fresh build —
-// cached for next time — otherwise. Configurations carrying function fields
-// cannot be keyed and are built fresh every time (the virtualized path,
-// which installs background generators, never reaches here).
+// cached for next time — otherwise. Only hook-instrumented configurations
+// cannot be keyed and are built fresh every time; background activity is a
+// value-typed descriptor, so virtualized machines cache like native ones.
 func (a *simArena) machine(ec engine.Config, procs []*kernel.Process) *engine.Machine {
-	if ec.AccessHook != nil || ec.Background.MakeGen != nil {
+	if ec.AccessHook != nil {
 		return engine.New(ec, procs)
 	}
 	k := keyOf(ec)
@@ -114,16 +123,32 @@ func (a *simArena) machine(ec engine.Config, procs []*kernel.Process) *engine.Ma
 	return m
 }
 
-// phase1 is Config.Phase1 running on the arena's reusable state. The
-// virtualized path falls through to the allocating implementation: its
-// machine embeds per-core background generator closures, which the arena
-// cannot key.
-func (a *simArena) phase1(c Config, profiles []workload.Profile, policy alloc.Policy, v *VirtSpec) alloc.Mapping {
-	if v != nil {
-		return c.Phase1(profiles, policy, v)
-	}
+// virtConfig rewinds (or builds) the process set for a virtualized run,
+// re-attaches the per-instruction overhead factors that ResetWorkload
+// cleared, and returns the hypervisor-decorated engine configuration —
+// value-typed throughout, so the machine comes out of the arena cache. The
+// simulated system is bit-identical to virt.NewSystem's (same workload
+// build, same decoration, same config transform).
+func (a *simArena) virtConfig(c Config, profiles []workload.Profile, v *VirtSpec) ([]*kernel.Process, engine.Config) {
+	ov := v.Overhead.Normalized()
 	procs := a.workload(c, profiles)
-	m := a.machine(c.EngineConfig(), procs)
+	ov.Decorate(procs)
+	return procs, ov.EngineConfig(c.EngineConfig(), c.Seed)
+}
+
+// phase1 is Config.Phase1 running on the arena's reusable state (native and
+// virtualized both — the value-typed Dom0 descriptor keys like any other
+// config field).
+func (a *simArena) phase1(c Config, profiles []workload.Profile, policy alloc.Policy, v *VirtSpec) alloc.Mapping {
+	var procs []*kernel.Process
+	var ec engine.Config
+	if v != nil {
+		procs, ec = a.virtConfig(c, profiles, v)
+	} else {
+		procs = a.workload(c, profiles)
+		ec = c.EngineConfig()
+	}
+	m := a.machine(ec, procs)
 	m.DistributeRoundRobin()
 	mo := monitor.New(policy)
 	m.Run(engine.RunOptions{
@@ -139,14 +164,18 @@ func (a *simArena) phase1(c Config, profiles []workload.Profile, policy alloc.Po
 }
 
 // runMapping is Config.RunMapping running on the arena's reusable state,
-// with the same phase-2 configuration (signature unit detached). The
-// virtualized path falls through to the allocating implementation.
+// with the same phase-2 configuration (signature unit detached — neutral
+// for results in both the native and virtualized cases, since signature
+// events carry no timing cost and nothing reads Sig under a fixed mapping).
 func (a *simArena) runMapping(c Config, profiles []workload.Profile, aff []int, v *VirtSpec) MixResult {
+	var procs []*kernel.Process
+	var ec engine.Config
 	if v != nil {
-		return c.RunMapping(profiles, aff, v)
+		procs, ec = a.virtConfig(c, profiles, v)
+	} else {
+		procs = a.workload(c, profiles)
+		ec = c.EngineConfig()
 	}
-	procs := a.workload(c, profiles)
-	ec := c.EngineConfig()
 	ec.DisableSignature = true
 	m := a.machine(ec, procs)
 	m.SetAffinities(aff)

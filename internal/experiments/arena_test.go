@@ -79,6 +79,35 @@ func TestArenaSharesMachinesAcrossConfigs(t *testing.T) {
 	}
 }
 
+// TestArenaVirtMatchesFresh pins the arena's new virtualized path to the
+// allocating implementation: the value-typed Dom0 descriptor, the rewound
+// process set with re-attached overhead factors, and the reused background
+// generators must reproduce virt.NewSystem's results exactly. (The arena's
+// phase-2 machine detaches the signature unit; equality here is also the
+// proof that detachment is result-neutral under a fixed mapping.)
+func TestArenaVirtMatchesFresh(t *testing.T) {
+	c := Quick()
+	mix := mixProfiles(t, "mcf", "libquantum", "povray", "gobmk")
+	v := DefaultVirt()
+	a := getArena()
+	defer putArena(a)
+
+	wantRun := c.RunMapping(mix, []int{0, 1, 0, 1}, v)
+	wantMap := c.Phase1(mix, alloc.WeightedInterferenceGraph{}, v)
+	for round := 0; round < 3; round++ {
+		if got := a.runMapping(c, mix, []int{0, 1, 0, 1}, v); !reflect.DeepEqual(got, wantRun) {
+			t.Fatalf("round %d: arena virt %+v, fresh %+v", round, got, wantRun)
+		}
+		if got := a.phase1(c, mix, alloc.WeightedInterferenceGraph{}, v); !got.Equal(wantMap) {
+			t.Fatalf("round %d: arena virt phase-1 chose %v, fresh chose %v", round, got, wantMap)
+		}
+		// Interleave a native run so virt state cannot leak across key space.
+		if got := a.runMapping(c, mix, []int{0, 1, 0, 1}, nil); reflect.DeepEqual(got, wantRun) {
+			t.Fatal("native and virtualized runs produced identical results — key collision?")
+		}
+	}
+}
+
 // BenchmarkRunMixAllocs measures steady-state allocations of a full RunMix
 // (phase 1 + all phase-2 candidates) with the worker arenas warm: the
 // sync.Pool keeps them alive across iterations, so allocs/op reflects the

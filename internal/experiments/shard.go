@@ -105,6 +105,22 @@ func hashHex(parts ...string) string {
 // benchmark pool; the coordinator uses it to validate worker submissions.
 func PoolHash(names []string) string { return hashHex(names...) }
 
+// PoolHashProfiles is PoolHash over a resolved pool: synthetic profiles
+// contribute their name (identical to PoolHash of the names, so existing
+// campaign fingerprints are unchanged), while trace-driven profiles
+// contribute name#fingerprint — two trace pools that reuse a file name hash
+// differently, so their shards can never merge.
+func PoolHashProfiles(pool []workload.Profile) string {
+	parts := make([]string, len(pool))
+	for i, p := range pool {
+		parts[i] = p.Name
+		if p.Fingerprint != "" {
+			parts[i] += "#" + p.Fingerprint
+		}
+	}
+	return hashHex(parts...)
+}
+
 // CampaignHash returns the fingerprint of this configuration's
 // simulation-affecting parameters — the value shard headers carry as
 // ConfigHash. Two builds that disagree on it would not produce comparable
@@ -147,12 +163,11 @@ func (c Config) SweepShard(pool []workload.Profile, policy alloc.Policy, mixSize
 	lo, hi := ShardRange(len(combos), idx, total)
 	start := time.Now()
 	outcomes := c.sweepOutcomes(pool, policy, mixSize, v, lo, hi)
-	names := poolNames(pool)
 	return Shard{
 		Format:         ShardFormat,
-		PoolHash:       hashHex(names...),
+		PoolHash:       PoolHashProfiles(pool),
 		ConfigHash:     hashHex(c.campaignFingerprint()),
-		Pool:           names,
+		Pool:           poolNames(pool),
 		Policy:         policy.Name(),
 		MixSize:        mixSize,
 		Virtual:        v != nil,

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"symbiosched/internal/trace"
+	"symbiosched/internal/workload"
+)
+
+// This file turns a directory of captured traces (cmd/tracegen, trace.Capture)
+// into a benchmark pool: one single-threaded Profile per *.trc file, driven by
+// run-length replay instead of synthetic generation. The pool plugs into every
+// sweep entry point — Figure-style sweeps, shards, coordinator campaigns —
+// because the profiles carry MakeSources and a content Fingerprint and
+// otherwise behave exactly like the synthetic pools.
+//
+// Determinism caveats, which differ from synthetic pools:
+//   - The instruction stream IS the capture. Config.Seed and the Region scale
+//     divisor do not re-derive it; they still seed/scale any synthetic
+//     profiles mixed into the same pool.
+//   - InstrDiv still applies: it shortens the run target, so a scaled run
+//     replays a prefix of the trace (looping if the target exceeds it).
+//   - Pool identity is filename + content hash: shard headers and campaign
+//     fingerprints include each trace's FNV-1a fingerprint, so two pools that
+//     reuse a file name cannot be merged or cache-aliased.
+
+// traceExt is the trace file extension the pool builders look for.
+const traceExt = ".trc"
+
+// traceAsidShift mirrors the workload package's address-space layout: process
+// asid owns addresses [asid<<40, (asid+1)<<40). Traces are captured in address
+// space 1 (trace.Capture/CaptureTrace build the generator with asid 1), so a
+// replay for process asid rebases by (asid-1)<<40.
+const traceAsidShift = 40
+
+func traceBase(asid int) uint64 { return uint64(asid-1) << traceAsidShift }
+
+// listTraces returns the sorted *.trc paths under dir.
+func listTraces(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: trace dir: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), traceExt) {
+			continue
+		}
+		paths = append(paths, filepath.Join(dir, e.Name()))
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("experiments: no %s files in %s", traceExt, dir)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// traceProfile fills the Profile fields shared by both pool flavours.
+func traceProfile(path, fingerprint string, instr, memRefs uint64) workload.Profile {
+	name := strings.TrimSuffix(filepath.Base(path), traceExt)
+	var ratio float64
+	if instr > 0 {
+		ratio = float64(memRefs) / float64(instr)
+	}
+	return workload.Profile{
+		Name:         name,
+		MemRatio:     ratio,
+		Instructions: instr,
+		Threads:      1,
+		Fingerprint:  fingerprint,
+	}
+}
+
+// TracePoolFromDir builds a benchmark pool from every *.trc file in dir,
+// fully compiled into memory: each file is decoded once into a shared
+// run-length CompiledTrace (16 B per memory reference), and every process
+// instantiated from the profile replays it through an independent cursor.
+// This is the fast-sweep flavour — thousands of mix runs share one decode.
+// For traces too large to hold compiled, use StreamingTracePoolFromDir.
+func TracePoolFromDir(dir string) ([]workload.Profile, error) {
+	paths, err := listTraces(dir)
+	if err != nil {
+		return nil, err
+	}
+	pool := make([]workload.Profile, 0, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		h := fnv.New64a()
+		h.Write(data)
+		ct, err := trace.Compile(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", path, err)
+		}
+		p := traceProfile(path, fmt.Sprintf("%016x", h.Sum64()), ct.Instructions(), ct.MemRefs())
+		p.MakeSources = func(asid int, _, _ uint64) []workload.RefSource {
+			return []workload.RefSource{trace.NewRunReplay(ct, true, traceBase(asid))}
+		}
+		pool = append(pool, p)
+	}
+	return pool, nil
+}
+
+// StreamingTracePoolFromDir builds the same pool as TracePoolFromDir but with
+// streaming replay: each file is scanned once up front (for the fingerprint
+// and instruction counts — O(1) memory), and every instantiated source decodes
+// the file on the fly through a bufRuns-run decode-ahead buffer (0 selects
+// trace.DefaultStreamRuns). Memory per live source is O(buffer) regardless of
+// trace size, which is what makes multi-GB captures sweepable.
+//
+// Each source opens its own file handle; handles live as long as their
+// process set (the experiments arenas rewind sources in place via Rewind, so
+// a cached workload keeps its handles) and are reclaimed with the sources.
+// MakeSources panics if the file has disappeared since the scan — profile
+// instantiation has no error path, and a vanished trace is unrecoverable.
+func StreamingTracePoolFromDir(dir string, bufRuns int) ([]workload.Profile, error) {
+	paths, err := listTraces(dir)
+	if err != nil {
+		return nil, err
+	}
+	pool := make([]workload.Profile, 0, len(paths))
+	for _, path := range paths {
+		fingerprint, instr, memRefs, err := scanTrace(path)
+		if err != nil {
+			return nil, err
+		}
+		p := traceProfile(path, fingerprint, instr, memRefs)
+		path := path
+		p.MakeSources = func(asid int, _, _ uint64) []workload.RefSource {
+			f, err := os.Open(path)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: trace vanished after scan: %v", err))
+			}
+			sr, err := trace.NewStreamReplay(f, bufRuns, true, traceBase(asid))
+			if err != nil {
+				f.Close()
+				panic(fmt.Sprintf("experiments: %s: %v", path, err))
+			}
+			return []workload.RefSource{sr}
+		}
+		pool = append(pool, p)
+	}
+	return pool, nil
+}
+
+// scanTrace makes one sequential pass over a trace file, computing the
+// content fingerprint and the run-length statistics without retaining
+// anything: the decoder reads through a TeeReader that feeds the hash, so the
+// fingerprint is over the raw bytes — identical to TracePoolFromDir's.
+func scanTrace(path string) (fingerprint string, instr, memRefs uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("experiments: %w", err)
+	}
+	defer f.Close()
+	h := fnv.New64a()
+	tr := trace.NewReader(io.TeeReader(f, h))
+	for {
+		skip, _, mem, err := tr.NextRun()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return "", 0, 0, fmt.Errorf("experiments: %s: %w", path, err)
+		}
+		instr += skip
+		if mem {
+			instr++
+			memRefs++
+		}
+	}
+	// Drain any bytes the decoder's buffer did not consume (there are none
+	// today — NextRun reads to EOF — but the fingerprint must cover the whole
+	// file regardless of decoder internals).
+	if _, err := io.Copy(h, f); err != nil {
+		return "", 0, 0, fmt.Errorf("experiments: %s: %w", path, err)
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), instr, memRefs, nil
+}
+
+// SelectProfiles returns the subset of pool matching names, in pool order,
+// rejecting unknown names. It is how -pool restricts a trace-driven pool
+// (synthetic pools resolve names through workload.ByName instead, which can
+// build profiles from nothing; trace profiles only exist in their pool).
+func SelectProfiles(pool []workload.Profile, names []string) ([]workload.Profile, error) {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	out := make([]workload.Profile, 0, len(names))
+	for _, p := range pool {
+		if want[p.Name] {
+			out = append(out, p)
+			delete(want, p.Name)
+		}
+	}
+	if len(want) > 0 {
+		missing := make([]string, 0, len(want))
+		for n := range want {
+			missing = append(missing, n)
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("experiments: benchmarks not in trace pool: %s", strings.Join(missing, ", "))
+	}
+	return out, nil
+}

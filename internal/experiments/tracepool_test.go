@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"symbiosched/internal/alloc"
+	"symbiosched/internal/trace"
+	"symbiosched/internal/workload"
+)
+
+// writeTraceDir captures four quick-scale benchmarks into dir as *.trc files
+// and returns their (sorted) names.
+func writeTraceDir(t testing.TB, dir string) []string {
+	t.Helper()
+	names := []string{"gobmk", "libquantum", "mcf", "povray"}
+	for _, name := range names {
+		p, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(filepath.Join(dir, name+".trc"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Capture(p.NewThreads(1, 77, 64)[0], 60_000, f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return names
+}
+
+func TestTracePoolFromDir(t *testing.T) {
+	dir := t.TempDir()
+	names := writeTraceDir(t, dir)
+	pool, err := TracePoolFromDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) != len(names) {
+		t.Fatalf("pool has %d profiles, want %d", len(pool), len(names))
+	}
+	for i, p := range pool {
+		if p.Name != names[i] {
+			t.Fatalf("profile %d is %q, want %q (sorted file order)", i, p.Name, names[i])
+		}
+		if p.Fingerprint == "" {
+			t.Fatalf("%s: empty fingerprint", p.Name)
+		}
+		if p.Instructions != 60_000 {
+			t.Fatalf("%s: %d instructions, want 60000", p.Name, p.Instructions)
+		}
+		if p.MemRatio <= 0 || p.MemRatio >= 1 {
+			t.Fatalf("%s: MemRatio %f out of range", p.Name, p.MemRatio)
+		}
+		if p.Threads != 1 {
+			t.Fatalf("%s: %d threads", p.Name, p.Threads)
+		}
+	}
+
+	// The streaming flavour must report identical metadata: same fingerprint
+	// (it hashes the same bytes), same counts.
+	streaming, err := StreamingTracePoolFromDir(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pool {
+		if pool[i].Fingerprint != streaming[i].Fingerprint ||
+			pool[i].Instructions != streaming[i].Instructions ||
+			pool[i].MemRatio != streaming[i].MemRatio {
+			t.Fatalf("%s: compiled metadata %q/%d/%f, streaming %q/%d/%f",
+				pool[i].Name, pool[i].Fingerprint, pool[i].Instructions, pool[i].MemRatio,
+				streaming[i].Fingerprint, streaming[i].Instructions, streaming[i].MemRatio)
+		}
+	}
+}
+
+// TestTraceMixMatchesSyntheticPlumbing runs a trace-driven mix end to end
+// through RunMapping and the arena path: deterministic across repeats, and
+// the arena (which rewinds replay cursors in place) must reproduce the fresh
+// result exactly — the Rewind contract for both replay flavours.
+func TestTraceMixMatchesSyntheticPlumbing(t *testing.T) {
+	dir := t.TempDir()
+	writeTraceDir(t, dir)
+	pool, err := TracePoolFromDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Quick()
+	aff := []int{0, 1, 0, 1}
+
+	want := c.RunMapping(pool, aff, nil)
+	if got := c.RunMapping(pool, aff, nil); !reflect.DeepEqual(got, want) {
+		t.Fatalf("trace mix not deterministic: %+v vs %+v", got, want)
+	}
+	for _, u := range want.UserCycles {
+		if u == 0 {
+			t.Fatalf("a trace-driven process never completed: %+v", want)
+		}
+	}
+
+	a := getArena()
+	defer putArena(a)
+	for round := 0; round < 3; round++ {
+		if got := a.runMapping(c, pool, aff, nil); !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: arena %+v, fresh %+v", round, got, want)
+		}
+	}
+
+	// Streaming pool, tiny buffer: same simulation results as compiled.
+	streaming, err := StreamingTracePoolFromDir(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.RunMapping(streaming, aff, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("streaming pool diverged from compiled: %+v vs %+v", got, want)
+	}
+	for round := 0; round < 2; round++ {
+		if got := a.runMapping(c, streaming, aff, nil); !reflect.DeepEqual(got, want) {
+			t.Fatalf("streaming arena round %d: %+v, want %+v", round, got, want)
+		}
+	}
+}
+
+// TestTraceSweepShard runs a full sharded sweep over a trace pool and checks
+// the campaign fingerprints bind to trace content.
+func TestTraceSweepShard(t *testing.T) {
+	dir := t.TempDir()
+	writeTraceDir(t, dir)
+	pool, err := TracePoolFromDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Quick()
+	s, err := c.SweepShard(pool, alloc.WeightedInterferenceGraph{}, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Outcomes) != 1 { // C(4,4)
+		t.Fatalf("%d outcomes, want 1", len(s.Outcomes))
+	}
+	if s.PoolHash != PoolHashProfiles(pool) {
+		t.Fatalf("shard pool hash %s, want %s", s.PoolHash, PoolHashProfiles(pool))
+	}
+	// The hash must differ from a plain name hash (content binds it) and
+	// from the same names with different trace content.
+	if s.PoolHash == PoolHash(poolNames(pool)) {
+		t.Fatal("trace pool hash ignores fingerprints")
+	}
+	dir2 := t.TempDir()
+	for _, name := range []string{"gobmk", "libquantum", "mcf", "povray"} {
+		p, _ := workload.ByName(name)
+		f, err := os.Create(filepath.Join(dir2, name+".trc"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Capture(p.NewThreads(1, 78, 64)[0], 60_000, f); err != nil { // different seed
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	pool2, err := TracePoolFromDir(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PoolHashProfiles(pool2) == PoolHashProfiles(pool) {
+		t.Fatal("different trace content, same pool hash")
+	}
+
+	// Synthetic pools must hash exactly as before (name-only parts).
+	syn := mixProfiles(t, "mcf", "povray")
+	if PoolHashProfiles(syn) != PoolHash([]string{"mcf", "povray"}) {
+		t.Fatal("synthetic pool hash changed")
+	}
+}
+
+func TestSelectProfiles(t *testing.T) {
+	dir := t.TempDir()
+	writeTraceDir(t, dir)
+	pool, err := TracePoolFromDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := SelectProfiles(pool, []string{"mcf", "gobmk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 || sub[0].Name != "gobmk" || sub[1].Name != "mcf" {
+		t.Fatalf("subset = %v", poolNames(sub))
+	}
+	if _, err := SelectProfiles(pool, []string{"mcf", "nosuch"}); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestTracePoolEmptyDir(t *testing.T) {
+	if _, err := TracePoolFromDir(t.TempDir()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	if _, err := TracePoolFromDir(filepath.Join(t.TempDir(), "nosuch")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}

@@ -128,7 +128,7 @@ func Workload(profiles []workload.Profile, seed uint64, sc workload.Scale) []*Pr
 	tid := 0
 	for i, prof := range profiles {
 		p := &Process{ID: i, Name: prof.Name, Profile: prof}
-		gens := prof.NewThreads(i+1, root.Uint64(), sc.Region)
+		gens := prof.NewSources(i+1, root.Uint64(), sc.Region)
 		perThread := prof.ScaledInstructions(sc.Instr) / uint64(len(gens))
 		if perThread == 0 {
 			perThread = 1
@@ -151,10 +151,11 @@ func Workload(profiles []workload.Profile, seed uint64, sc workload.Scale) []*Pr
 // Reset returns the thread to its just-created state: all progress counters,
 // statistics, the captured signature, the affinity and the virtualization
 // cost factor are cleared (matching a thread fresh out of Workload, before
-// any virt layer decorates it). The generator is rewound in place when it is
-// a synthetic *workload.Generator; Reset reports false — and leaves the
-// thread counters cleared but the stream untouched — for non-rewindable
-// sources (trace replays), in which case the caller must rebuild the
+// any virt layer decorates it). The instruction stream is rewound in place
+// when the source supports it: a synthetic *workload.Generator, or any
+// workload.Rewinder (compiled and streaming trace replays). Reset reports
+// false — and leaves the thread counters cleared but the stream untouched —
+// for non-rewindable sources, in which case the caller must rebuild the
 // workload instead of reusing it.
 func (t *Thread) Reset() bool {
 	t.Affinity = 0
@@ -165,9 +166,12 @@ func (t *Thread) Reset() bool {
 	t.CostNum, t.CostDen = 0, 0
 	t.MemRefs, t.L2Refs, t.L2Misses = 0, 0, 0
 	t.Sig = nil
-	if g, ok := t.Gen.(*workload.Generator); ok {
+	switch g := t.Gen.(type) {
+	case *workload.Generator:
 		g.Reset()
 		return true
+	case workload.Rewinder:
+		return g.Rewind()
 	}
 	return false
 }

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"io"
+
+	"symbiosched/internal/workload"
+)
+
+// Run is one run-length unit of a compiled trace: Skip compute instructions
+// followed by one memory reference to line address Line. This is exactly the
+// shape the codec stores on disk and the shape the engine's batch loop
+// consumes (Generator.NextRun), so a compiled trace replays with no
+// per-instruction work at all.
+type Run struct {
+	Skip uint64
+	Line uint64
+}
+
+// CompiledTrace is a fully decoded trace in run-length form: one Run per
+// memory reference (16 B each) plus the trailing compute-only Tail. Compared
+// to ReadAll's one workload.Ref per instruction, memory scales with memory
+// references instead of instructions — a 70%-compute stream compiles to
+// ~1/5 the footprint, and replay touches one record per memory operation.
+// A CompiledTrace is immutable after Compile; any number of RunReplay
+// cursors may share one concurrently.
+type CompiledTrace struct {
+	Runs []Run
+	Tail uint64 // compute instructions after the last memory reference
+
+	instr uint64
+}
+
+// Instructions returns the total dynamic instruction count of the trace.
+func (ct *CompiledTrace) Instructions() uint64 { return ct.instr }
+
+// MemRefs returns the number of memory references in the trace.
+func (ct *CompiledTrace) MemRefs() uint64 { return uint64(len(ct.Runs)) }
+
+// Compile decodes a binary trace into run-length form.
+func Compile(r io.Reader) (*CompiledTrace, error) {
+	tr := NewReader(r)
+	ct := &CompiledTrace{}
+	for {
+		skip, line, mem, err := tr.NextRun()
+		if err == io.EOF {
+			return ct, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !mem {
+			ct.Tail += skip
+			ct.instr += skip
+			continue
+		}
+		ct.Runs = append(ct.Runs, Run{Skip: skip, Line: line})
+		ct.instr += skip + 1
+	}
+}
+
+// RunReplay replays a compiled trace as a workload.RunSource: the engine's
+// fast batch loop consumes it one compute-run+memory-reference pair per
+// call, mirroring Generator.NextRun. Loop wraps the stream around forever
+// (the simulator restarts finished benchmarks); a non-looping replay pads
+// with compute no-ops after exhaustion, exactly like trace.Replay. Base is
+// added to every replayed byte address, which is how a trace captured in
+// address space 1 is rebased into another process's address space.
+//
+// The emitted instruction sequence is bit-identical to feeding the decoded
+// refs through Replay: NextRun(1) degenerates to per-instruction stepping,
+// and the run boundaries carry over across arbitrary batch limits.
+type RunReplay struct {
+	ct   *CompiledTrace
+	loop bool
+	base uint64
+
+	pos     int    // index of the run whose memory reference is owed next
+	pending uint64 // compute instructions owed before the next event
+	haveMem bool   // a memory reference (Runs[pos]) follows pending
+	done    bool   // exhausted (non-looping, or no memory refs to loop over)
+}
+
+// NewRunReplay returns a replay cursor over ct. The compiled trace is shared,
+// not copied; cursors never mutate it.
+func NewRunReplay(ct *CompiledTrace, loop bool, base uint64) *RunReplay {
+	return &RunReplay{ct: ct, loop: loop, base: base}
+}
+
+// advance folds trace state into (pending, haveMem): the next run's skip, or
+// — at the end of the run list — the tail followed by a wrap or exhaustion.
+func (rp *RunReplay) advance() {
+	for !rp.haveMem && !rp.done {
+		if rp.pos < len(rp.ct.Runs) {
+			rp.pending += rp.ct.Runs[rp.pos].Skip
+			rp.haveMem = true
+			return
+		}
+		rp.pending += rp.ct.Tail
+		if !rp.loop || len(rp.ct.Runs) == 0 {
+			// A looping all-compute trace is an infinite compute stream —
+			// identical to the exhausted padding below, so it terminates here
+			// rather than accumulating pending forever.
+			rp.done = true
+			return
+		}
+		rp.pos = 0
+	}
+}
+
+// NextRun implements workload.RunSource with Generator.NextRun's exact
+// contract: up to limit instructions are consumed; when mem is true,
+// skipped compute instructions plus the returned memory access were
+// consumed (skipped+1 ≤ limit), otherwise exactly limit compute
+// instructions were. State carries over so batch boundaries do not perturb
+// the stream.
+func (rp *RunReplay) NextRun(limit int) (skipped int, addr uint64, mem bool) {
+	if limit <= 0 {
+		return 0, 0, false
+	}
+	rp.advance()
+	if rp.pending >= uint64(limit) {
+		rp.pending -= uint64(limit)
+		return limit, 0, false
+	}
+	if !rp.haveMem { // exhausted: pad with compute no-ops, like Replay
+		rp.pending = 0
+		return limit, 0, false
+	}
+	skipped = int(rp.pending)
+	rp.pending = 0
+	rp.haveMem = false
+	addr = rp.ct.Runs[rp.pos].Line<<6 + rp.base
+	rp.pos++
+	return skipped, addr, true
+}
+
+// Next implements workload.RefSource (the engine only uses it off the fast
+// path, e.g. under an AccessHook).
+func (rp *RunReplay) Next() workload.Ref {
+	_, addr, mem := rp.NextRun(1)
+	if mem {
+		return workload.Ref{Addr: addr, Mem: true}
+	}
+	return workload.Ref{}
+}
+
+// Rewind implements workload.Rewinder: the cursor returns to the start of
+// the trace in place, bit-identical to a fresh NewRunReplay — which is what
+// lets trace-driven workloads ride the experiments arena cache.
+func (rp *RunReplay) Rewind() bool {
+	rp.pos, rp.pending = 0, 0
+	rp.haveMem, rp.done = false, false
+	return true
+}

@@ -1,0 +1,283 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"symbiosched/internal/workload"
+)
+
+// encode serialises refs through the Writer and returns the raw trace bytes.
+func encode(t testing.TB, refs []workload.Ref) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	for _, r := range refs {
+		if err := tw.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReaderNextRun(t *testing.T) {
+	data := encode(t, []workload.Ref{
+		{},
+		{Addr: 64, Mem: true},
+		{},
+		{},
+		{Addr: 128, Mem: true},
+		{},
+		{},
+	})
+	tr := NewReader(bytes.NewReader(data))
+	type run struct {
+		skip, line uint64
+		mem        bool
+	}
+	want := []run{{1, 1, true}, {2, 2, true}, {2, 0, false}}
+	for i, w := range want {
+		skip, line, mem, err := tr.NextRun()
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if skip != w.skip || mem != w.mem || (mem && line != w.line) {
+			t.Fatalf("run %d: got (%d, %d, %v), want %+v", i, skip, line, mem, w)
+		}
+	}
+	if _, _, _, err := tr.NextRun(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}
+
+// TestCorruptTailMarker feeds the decoders a tail-marker record with a
+// negative count — input the writer never produces. Decoding it as a huge
+// unsigned gap made ReadAll effectively hang (2^63 synthetic compute ops),
+// so every decoder must reject it instead.
+func TestCorruptTailMarker(t *testing.T) {
+	if _, err := ReadAll(bytes.NewReader(corruptTailBytes())); err == nil {
+		t.Fatal("ReadAll accepted a negative tail count")
+	}
+	tr := NewReader(bytes.NewReader(corruptTailBytes()))
+	if _, _, _, err := tr.NextRun(); err == nil {
+		t.Fatal("NextRun accepted a negative tail count")
+	}
+	if _, err := Compile(bytes.NewReader(corruptTailBytes())); err == nil {
+		t.Fatal("Compile accepted a negative tail count")
+	}
+}
+
+func TestTruncatedVarint(t *testing.T) {
+	// magic + a gap uvarint with no following delta: torn mid-record.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], 3)])
+	data := buf.Bytes()
+
+	if _, err := ReadAll(bytes.NewReader(data)); err == nil {
+		t.Fatal("ReadAll accepted a torn record")
+	}
+	tr := NewReader(bytes.NewReader(data))
+	if _, _, _, err := tr.NextRun(); err == nil || err == io.EOF {
+		t.Fatalf("NextRun: want a truncation error, got %v", err)
+	}
+}
+
+func TestCompile(t *testing.T) {
+	refs := []workload.Ref{
+		{},
+		{Addr: 64, Mem: true},
+		{},
+		{},
+		{Addr: 128, Mem: true},
+		{},
+		{},
+		{},
+	}
+	ct, err := Compile(bytes.NewReader(encode(t, refs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRuns := []Run{{Skip: 1, Line: 1}, {Skip: 2, Line: 2}}
+	if len(ct.Runs) != len(wantRuns) {
+		t.Fatalf("got %d runs, want %d", len(ct.Runs), len(wantRuns))
+	}
+	for i, w := range wantRuns {
+		if ct.Runs[i] != w {
+			t.Fatalf("run %d: got %+v, want %+v", i, ct.Runs[i], w)
+		}
+	}
+	if ct.Tail != 3 {
+		t.Fatalf("Tail = %d, want 3", ct.Tail)
+	}
+	if ct.Instructions() != uint64(len(refs)) {
+		t.Fatalf("Instructions = %d, want %d", ct.Instructions(), len(refs))
+	}
+	if ct.MemRefs() != 2 {
+		t.Fatalf("MemRefs = %d, want 2", ct.MemRefs())
+	}
+}
+
+// captureBench captures n instructions of a named benchmark at quick scale.
+func captureBench(t testing.TB, name string, seed, n uint64) []byte {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Capture(p.NewThreads(1, seed, 64)[0], n, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunReplayMatchesReplay pins the compiled replay to the reference
+// per-instruction Replay, across loop wraps and under arbitrary NextRun
+// batch limits.
+func TestRunReplayMatchesReplay(t *testing.T) {
+	data := captureBench(t, "mcf", 11, 20_000)
+	refs, err := ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := Compile(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-instruction stepping, three times around the loop.
+	ref := &Replay{Refs: refs, Loop: true}
+	rp := NewRunReplay(ct, true, 0)
+	for i := 0; i < 3*len(refs); i++ {
+		if got, want := rp.Next(), ref.Next(); got != want {
+			t.Fatalf("instr %d: compiled %+v, reference %+v", i, got, want)
+		}
+	}
+
+	// Bulk stepping with a rotating limit schedule must flatten to the same
+	// stream: reconstruct instructions from (skipped, addr, mem) and compare.
+	rp2 := NewRunReplay(ct, true, 0)
+	ref2 := &Replay{Refs: refs, Loop: true}
+	limits := []int{1, 7, 64, 3, 1000, 2}
+	consumed := 0
+	for i := 0; consumed < 3*len(refs); i++ {
+		limit := limits[i%len(limits)]
+		skipped, addr, mem := rp2.NextRun(limit)
+		n := skipped
+		if mem {
+			n++
+		}
+		if n > limit || (!mem && n != limit) {
+			t.Fatalf("NextRun(%d) consumed %d (mem=%v)", limit, n, mem)
+		}
+		for j := 0; j < skipped; j++ {
+			if want := ref2.Next(); want.Mem {
+				t.Fatalf("instr %d+%d: reference has a memory op inside a compute run", consumed, j)
+			}
+		}
+		if mem {
+			want := ref2.Next()
+			if !want.Mem || want.Addr != addr {
+				t.Fatalf("instr %d: compiled mem %#x, reference %+v", consumed+skipped, addr, want)
+			}
+		}
+		consumed += n
+	}
+}
+
+func TestRunReplayRebase(t *testing.T) {
+	ct, err := Compile(bytes.NewReader(encode(t, []workload.Ref{{Addr: 64, Mem: true}})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := uint64(3) << 40
+	rp := NewRunReplay(ct, false, base)
+	if got := rp.Next(); !got.Mem || got.Addr != 64+base {
+		t.Fatalf("rebased ref = %+v, want addr %#x", got, 64+base)
+	}
+}
+
+func TestRunReplayExhaustionPads(t *testing.T) {
+	ct, err := Compile(bytes.NewReader(encode(t, []workload.Ref{{Addr: 64, Mem: true}, {}})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := NewRunReplay(ct, false, 0)
+	rp.Next() // the memory ref
+	rp.Next() // the tail compute
+	for i := 0; i < 10; i++ {
+		if skipped, _, mem := rp.NextRun(100); mem || skipped != 100 {
+			t.Fatalf("exhausted replay: NextRun = (%d, _, %v), want (100, _, false)", skipped, mem)
+		}
+	}
+	// A looping all-compute trace is an infinite compute stream, not an
+	// unbounded accumulator.
+	allCompute, err := Compile(bytes.NewReader(encode(t, []workload.Ref{{}, {}})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := NewRunReplay(allCompute, true, 0)
+	for i := 0; i < 10; i++ {
+		if skipped, _, mem := loop.NextRun(1000); mem || skipped != 1000 {
+			t.Fatalf("all-compute loop: NextRun = (%d, _, %v)", skipped, mem)
+		}
+	}
+}
+
+func TestRunReplayRewind(t *testing.T) {
+	ct, err := Compile(bytes.NewReader(captureBench(t, "gcc", 3, 5_000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := NewRunReplay(ct, true, 0)
+	first := make([]workload.Ref, 2_000)
+	for i := range first {
+		first[i] = rp.Next()
+	}
+	if !rp.Rewind() {
+		t.Fatal("Rewind failed")
+	}
+	for i := range first {
+		if got := rp.Next(); got != first[i] {
+			t.Fatalf("instr %d after rewind: %+v, want %+v", i, got, first[i])
+		}
+	}
+}
+
+func TestReaderReset(t *testing.T) {
+	data := captureBench(t, "povray", 5, 3_000)
+	tr := NewReader(bytes.NewReader(data))
+	read := func() []Run {
+		var runs []Run
+		for {
+			skip, line, mem, err := tr.NextRun()
+			if err == io.EOF {
+				return runs
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mem {
+				runs = append(runs, Run{Skip: skip, Line: line})
+			}
+		}
+	}
+	first := read()
+	tr.Reset(bytes.NewReader(data))
+	second := read()
+	if len(first) != len(second) {
+		t.Fatalf("reset decode: %d runs vs %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("run %d after Reset: %+v, want %+v", i, second[i], first[i])
+		}
+	}
+}

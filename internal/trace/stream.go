@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"symbiosched/internal/workload"
+)
+
+// DefaultStreamRuns is the decode-ahead buffer size (in runs) for streaming
+// replays: 4096 runs × 16 B = 64 KiB per stream, large enough that the
+// decoder amortises away and small enough that a many-process sweep over
+// multi-GB traces stays in cache-friendly memory.
+const DefaultStreamRuns = 4096
+
+// StreamReplay replays a binary trace directly from its (seekable) source as
+// a workload.RunSource, decoding ahead into a reusable run buffer: memory
+// stays O(buffer) no matter how large the trace is, and steady-state replay
+// performs zero allocations (the buffer, the decoder and its bufio window
+// are all reused — including across Loop wraps, which seek the source back
+// and reset the decoder in place).
+//
+// The emitted stream is bit-identical to NewRunReplay(Compile(src)): same
+// runs, same tail handling, same compute-padding after a non-looping
+// exhaustion. A decode error after construction is sticky: the stream turns
+// into compute no-ops from the error point on (the simulator cannot unwind
+// a half-simulated batch), Err reports it, and Rewind fails — so the
+// experiments arena rebuilds rather than silently reusing a broken stream.
+type StreamReplay struct {
+	src  io.ReadSeeker
+	tr   *Reader
+	loop bool
+	base uint64
+
+	runs []Run // decode-ahead buffer, len ≤ cap fixed at construction
+	pos  int   // next undelivered run in runs
+
+	pending uint64 // compute instructions owed before the next event
+	haveMem bool   // a memory reference (runs[pos]) follows pending
+	tail    uint64 // trailing computes seen by the decoder, folded at drain
+	atEOF   bool   // decoder exhausted the source this pass
+	sawMem  bool   // any memory reference decoded (guards all-compute loops)
+	done    bool   // exhausted or failed: compute no-ops forever
+	err     error
+}
+
+// NewStreamReplay opens a streaming replay over src with a bufRuns-run
+// decode-ahead buffer (0 selects DefaultStreamRuns). The header is validated
+// eagerly, so a non-trace file fails here rather than mid-simulation.
+func NewStreamReplay(src io.ReadSeeker, bufRuns int, loop bool, base uint64) (*StreamReplay, error) {
+	if bufRuns <= 0 {
+		bufRuns = DefaultStreamRuns
+	}
+	if _, err := src.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("trace: seek: %w", err)
+	}
+	sr := &StreamReplay{
+		src:  src,
+		tr:   NewReader(src),
+		loop: loop,
+		base: base,
+		runs: make([]Run, 0, bufRuns),
+	}
+	sr.refill()
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	return sr, nil
+}
+
+// Err returns the sticky decode error, if any.
+func (sr *StreamReplay) Err() error { return sr.err }
+
+// refill decodes runs from the source until the buffer is full or the
+// source is exhausted. Trailing computes accumulate in tail — not pending —
+// so they cannot be emitted ahead of runs still queued in the buffer.
+func (sr *StreamReplay) refill() {
+	sr.runs = sr.runs[:0]
+	sr.pos = 0
+	for len(sr.runs) < cap(sr.runs) {
+		skip, line, mem, err := sr.tr.NextRun()
+		if err == io.EOF {
+			sr.atEOF = true
+			return
+		}
+		if err != nil {
+			sr.err = err
+			sr.atEOF = true
+			return
+		}
+		if !mem {
+			sr.tail += skip
+			continue // final compute run; io.EOF follows
+		}
+		sr.runs = append(sr.runs, Run{Skip: skip, Line: line})
+		sr.sawMem = true
+	}
+}
+
+// advance folds decoder state into (pending, haveMem), refilling the buffer
+// and wrapping the source as needed.
+func (sr *StreamReplay) advance() {
+	for !sr.haveMem && !sr.done {
+		if sr.pos < len(sr.runs) {
+			sr.pending += sr.runs[sr.pos].Skip
+			sr.haveMem = true
+			return
+		}
+		if !sr.atEOF {
+			sr.refill()
+			continue
+		}
+		// Source drained: fold the tail, then wrap or finish.
+		sr.pending += sr.tail
+		sr.tail = 0
+		if sr.err != nil || !sr.loop || !sr.sawMem {
+			sr.done = true
+			return
+		}
+		if _, err := sr.src.Seek(0, io.SeekStart); err != nil {
+			sr.err = fmt.Errorf("trace: rewinding source: %w", err)
+			sr.done = true
+			return
+		}
+		sr.tr.Reset(sr.src)
+		sr.atEOF = false
+	}
+}
+
+// NextRun implements workload.RunSource with Generator.NextRun's exact
+// contract (see RunReplay.NextRun).
+func (sr *StreamReplay) NextRun(limit int) (skipped int, addr uint64, mem bool) {
+	if limit <= 0 {
+		return 0, 0, false
+	}
+	sr.advance()
+	if sr.pending >= uint64(limit) {
+		sr.pending -= uint64(limit)
+		return limit, 0, false
+	}
+	if !sr.haveMem {
+		sr.pending = 0
+		return limit, 0, false
+	}
+	skipped = int(sr.pending)
+	sr.pending = 0
+	sr.haveMem = false
+	addr = sr.runs[sr.pos].Line<<6 + sr.base
+	sr.pos++
+	return skipped, addr, true
+}
+
+// Next implements workload.RefSource.
+func (sr *StreamReplay) Next() workload.Ref {
+	_, addr, mem := sr.NextRun(1)
+	if mem {
+		return workload.Ref{Addr: addr, Mem: true}
+	}
+	return workload.Ref{}
+}
+
+// Rewind implements workload.Rewinder: seek the source back to the start and
+// reset every cursor, reusing the buffer and decoder. It reports false — and
+// the caller must rebuild — when the stream has failed, or when the source
+// cannot seek.
+func (sr *StreamReplay) Rewind() bool {
+	if sr.err != nil {
+		return false
+	}
+	if _, err := sr.src.Seek(0, io.SeekStart); err != nil {
+		sr.err = fmt.Errorf("trace: rewinding source: %w", err)
+		return false
+	}
+	sr.tr.Reset(sr.src)
+	sr.pending, sr.tail = 0, 0
+	sr.haveMem, sr.atEOF, sr.sawMem, sr.done = false, false, false, false
+	sr.refill()
+	return sr.err == nil
+}

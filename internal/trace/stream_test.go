@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"symbiosched/internal/workload"
+)
+
+// TestStreamReplayMatchesRunReplay pins streaming replay to the compiled
+// reference with a tiny 3-run buffer, so every refill boundary, tail fold and
+// loop wrap is crossed many times.
+func TestStreamReplayMatchesRunReplay(t *testing.T) {
+	data := captureBench(t, "libquantum", 17, 20_000)
+	ct, err := Compile(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, loop := range []bool{true, false} {
+		rp := NewRunReplay(ct, loop, 7<<40)
+		sr, err := NewStreamReplay(bytes.NewReader(data), 3, loop, 7<<40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		limits := []int{1, 5, 128, 3, 977}
+		for i := 0; i < 30_000; i++ {
+			limit := limits[i%len(limits)]
+			s1, a1, m1 := rp.NextRun(limit)
+			s2, a2, m2 := sr.NextRun(limit)
+			if s1 != s2 || a1 != a2 || m1 != m2 {
+				t.Fatalf("loop=%v call %d: compiled (%d, %#x, %v), streaming (%d, %#x, %v)",
+					loop, i, s1, a1, m1, s2, a2, m2)
+			}
+		}
+		if sr.Err() != nil {
+			t.Fatalf("loop=%v: unexpected stream error: %v", loop, sr.Err())
+		}
+	}
+}
+
+// TestStreamReplayBoundedMemory pins the O(buffer) claim where it matters:
+// steady-state replay — including loop wraps, which re-seek the source and
+// reset the decoder in place — performs zero allocations.
+func TestStreamReplayBoundedMemory(t *testing.T) {
+	data := captureBench(t, "hmmer", 23, 50_000)
+	sr, err := NewStreamReplay(bytes.NewReader(data), 16, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink uint64
+	allocs := testing.AllocsPerRun(20, func() {
+		// ~2k memory references per round with a 16-run buffer: hundreds of
+		// refills, and (at 50k instructions per lap) regular loop wraps.
+		for i := 0; i < 10_000; i++ {
+			_, addr, _ := sr.NextRun(64)
+			sink += addr
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state streaming replay allocates: %.1f allocs/run", allocs)
+	}
+	_ = sink
+}
+
+func TestStreamReplayRewind(t *testing.T) {
+	data := captureBench(t, "gcc", 29, 10_000)
+	sr, err := NewStreamReplay(bytes.NewReader(data), 5, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make([]workload.Ref, 4_000)
+	for i := range first {
+		first[i] = sr.Next()
+	}
+	if !sr.Rewind() {
+		t.Fatal("Rewind failed")
+	}
+	for i := range first {
+		if got := sr.Next(); got != first[i] {
+			t.Fatalf("instr %d after rewind: %+v, want %+v", i, got, first[i])
+		}
+	}
+}
+
+func TestStreamReplayBadMagic(t *testing.T) {
+	if _, err := NewStreamReplay(bytes.NewReader([]byte("NOTATRACE")), 4, true, 0); err == nil {
+		t.Fatal("bad magic accepted at construction")
+	}
+}
+
+// TestStreamReplayErrorSticky corrupts a trace beyond the first record: the
+// stream must degrade to compute no-ops at the corruption point, report the
+// error, and refuse to Rewind (so arenas rebuild instead of reusing it).
+func TestStreamReplayErrorSticky(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var tmp [binary.MaxVarintLen64]byte
+	// One valid record: gap 2, delta +1 (line 1).
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], 2)])
+	buf.Write(tmp[:binary.PutVarint(tmp[:], 1)])
+	// A torn record: gap with no delta.
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], 9)])
+
+	sr, err := NewStreamReplay(bytes.NewReader(buf.Bytes()), 1, true, 0)
+	if err != nil {
+		t.Fatal(err) // buffer of 1 fills from the valid record alone
+	}
+	if skipped, addr, mem := sr.NextRun(100); !mem || skipped != 2 || addr != 64 {
+		t.Fatalf("valid prefix: NextRun = (%d, %#x, %v)", skipped, addr, mem)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, mem := sr.NextRun(100); mem {
+			t.Fatal("corrupt stream emitted a memory op")
+		}
+	}
+	if sr.Err() == nil {
+		t.Fatal("Err() is nil after decoding a torn record")
+	}
+	if sr.Rewind() {
+		t.Fatal("Rewind succeeded on a failed stream")
+	}
+}

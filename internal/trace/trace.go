@@ -168,13 +168,78 @@ func (tr *Reader) Next() (workload.Ref, error) {
 			return workload.Ref{}, fmt.Errorf("trace: truncated record: %w", err)
 		}
 		if gap == tailMarker {
-			tr.gap = uint64(delta)
+			if delta < 0 {
+				// A negative count reinterpreted as uint64 would be ~2^64
+				// pending compute instructions: ReadAll would hang and
+				// allocate without bound on a corrupt (or adversarial) file.
+				return workload.Ref{}, fmt.Errorf("trace: corrupt tail marker (negative count %d)", delta)
+			}
+			tr.gap += uint64(delta)
 			continue
 		}
 		tr.gap = gap
 		tr.nextLine = uint64(int64(tr.lastLine) + delta)
 		tr.havePend = true
 	}
+}
+
+// NextRun returns the next run of the trace — skip compute instructions
+// followed, when mem is true, by one memory reference to line (a line
+// address; ×64 for bytes). A final compute-only run is returned once with
+// mem false; after the trace is exhausted NextRun returns io.EOF. It is the
+// bulk counterpart of Next (one call per memory operation instead of one per
+// instruction) and interleaves correctly with it: both consume the same
+// decoder state.
+func (tr *Reader) NextRun() (skip, line uint64, mem bool, err error) {
+	if err := tr.checkMagic(); err != nil {
+		return 0, 0, false, err
+	}
+	skip, tr.gap = tr.gap, 0
+	for {
+		if tr.havePend {
+			tr.havePend = false
+			tr.lastLine = tr.nextLine
+			return skip, tr.nextLine, true, nil
+		}
+		if tr.done {
+			if skip > 0 {
+				return skip, 0, false, nil
+			}
+			return 0, 0, false, io.EOF
+		}
+		gap, err := binary.ReadUvarint(tr.r)
+		if err == io.EOF {
+			tr.done = true
+			continue
+		}
+		if err != nil {
+			return 0, 0, false, fmt.Errorf("trace: %w", err)
+		}
+		delta, err := binary.ReadVarint(tr.r)
+		if err != nil {
+			return 0, 0, false, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		if gap == tailMarker {
+			if delta < 0 {
+				return 0, 0, false, fmt.Errorf("trace: corrupt tail marker (negative count %d)", delta)
+			}
+			skip += uint64(delta) // merge marker runs into the current gap
+			continue
+		}
+		skip += gap
+		tr.nextLine = uint64(int64(tr.lastLine) + delta)
+		tr.havePend = true
+	}
+}
+
+// Reset rewinds the Reader onto a new (or re-seeked) stream, reusing its
+// buffer — the allocation-free path the streaming replay's loop support
+// stands on.
+func (tr *Reader) Reset(r io.Reader) {
+	tr.r.Reset(r)
+	tr.checked = false
+	tr.gap, tr.nextLine, tr.lastLine = 0, 0, 0
+	tr.havePend, tr.done = false, false
 }
 
 // Capture records the next n instructions from a generator into w.

@@ -48,6 +48,63 @@ func DefaultOverhead() Overhead {
 	}
 }
 
+// Normalized resolves the zero value to the default model and validates the
+// overhead factor (a factor below 1 would model a hypervisor that speeds
+// guests up).
+func (ov Overhead) Normalized() Overhead {
+	if ov.CostDen == 0 {
+		ov = DefaultOverhead()
+	}
+	if ov.CostNum < ov.CostDen {
+		panic(fmt.Sprintf("virt: overhead factor %d/%d below 1", ov.CostNum, ov.CostDen))
+	}
+	return ov
+}
+
+// Decorate attaches the hypervisor's per-instruction overhead factor to
+// every guest thread. kernel.ResetWorkload clears the factors, so arena
+// paths that rewind a cached process set must re-Decorate before running.
+func (ov Overhead) Decorate(procs []*kernel.Process) {
+	for _, p := range procs {
+		for _, t := range p.Threads {
+			t.CostNum, t.CostDen = ov.CostNum, ov.CostDen
+		}
+	}
+}
+
+// EngineConfig applies the hypervisor's machine-level costs to an engine
+// configuration: the vcpu world-switch cost and the Dom0 background
+// descriptor. The returned config carries no closures — background activity
+// is the value-typed workload.BackgroundSpec — so virtualized configurations
+// are comparable and cacheable by the experiments arenas.
+func (ov Overhead) EngineConfig(cfg engine.Config, seed uint64) engine.Config {
+	cfg.SwitchCost = ov.SwitchCycles
+	if ov.Dom0Period > 0 && ov.Dom0Ops > 0 {
+		l2Bytes := uint64(cfg.Hierarchy.L2.SizeBytes)
+		region := l2Bytes * ov.Dom0FootprintFrac16 / 16
+		if region < 4096 {
+			region = 4096
+		}
+		region -= region % 64
+		cfg.Background = engine.BackgroundConfig{
+			Period: ov.Dom0Period,
+			Ops:    ov.Dom0Ops,
+			Gen: workload.BackgroundSpec{
+				Pattern:  "stream",
+				Region:   region,
+				MemRatio: 0.4,
+				// Dom0 lives in its own address space, far above any guest;
+				// per-core streams are offset so they contend rather than
+				// share.
+				Base:       uint64(250) << asidShiftVirt,
+				CoreStride: uint64(1) << 32,
+				Seed:       seed,
+			},
+		}
+	}
+	return cfg
+}
+
 // VM is one virtual machine hosting a single benchmark, the paper's
 // configuration ("each VM ran Fedora Core Linux and one benchmark").
 type VM struct {
@@ -68,46 +125,15 @@ type System struct {
 // world-switch cost and every guest thread carries the per-instruction
 // overhead factor.
 func NewSystem(cfg engine.Config, profiles []workload.Profile, seed uint64, sc workload.Scale, ov Overhead) *System {
-	if ov.CostDen == 0 {
-		ov = DefaultOverhead()
-	}
-	if ov.CostNum < ov.CostDen {
-		panic(fmt.Sprintf("virt: overhead factor %d/%d below 1", ov.CostNum, ov.CostDen))
-	}
+	ov = ov.Normalized()
 	procs := kernel.Workload(profiles, seed, sc)
+	ov.Decorate(procs)
 	vms := make([]*VM, len(procs))
 	for i, p := range procs {
-		for _, t := range p.Threads {
-			t.CostNum, t.CostDen = ov.CostNum, ov.CostDen
-		}
 		vms[i] = &VM{Name: p.Name, Proc: p}
 	}
-	cfg.SwitchCost = ov.SwitchCycles
-	if ov.Dom0Period > 0 && ov.Dom0Ops > 0 {
-		l2Bytes := uint64(cfg.Hierarchy.L2.SizeBytes)
-		region := l2Bytes * ov.Dom0FootprintFrac16 / 16
-		if region < 4096 {
-			region = 4096
-		}
-		region -= region % 64
-		cfg.Background = engine.BackgroundConfig{
-			Period: ov.Dom0Period,
-			Ops:    ov.Dom0Ops,
-			MakeGen: func(core int) *workload.Generator {
-				return workload.NewGenerator(workload.GeneratorConfig{
-					Pattern:  &workload.StreamPattern{Region: region},
-					MemRatio: 0.4,
-					// Dom0 lives in its own address space, far above any
-					// guest; per-core streams are offset so they contend
-					// rather than share.
-					Base: (uint64(250) << asidShiftVirt) + uint64(core)<<32,
-					Seed: seed ^ uint64(core+1),
-				})
-			},
-		}
-	}
 	return &System{
-		Machine:  engine.New(cfg, procs),
+		Machine:  engine.New(ov.EngineConfig(cfg, seed), procs),
 		VMs:      vms,
 		Overhead: ov,
 	}

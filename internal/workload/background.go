@@ -1,0 +1,57 @@
+package workload
+
+// BackgroundSpec is a value-typed descriptor of per-core background service
+// activity (hypervisor/Dom0 housekeeping, OS interrupts). It replaces the
+// closure-valued generator factory the engine's BackgroundConfig used to
+// carry: because every field is comparable, an engine configuration that
+// enables background activity can be used as a cache key (the experiments
+// arenas key machines by configuration), and because the spec is data rather
+// than code, the engine can rewind the generators it built instead of
+// rebuilding them on every Machine.Reset.
+//
+// Core c's generator runs the named pattern over Region bytes at
+// Base + c·CoreStride with RNG seed Seed ^ (c+1) — per-core streams are
+// offset so cores contend rather than share, and the seed mix keeps their
+// draw sequences distinct even at Seed 0.
+type BackgroundSpec struct {
+	// Pattern names the access pattern: "stream" (default) or "random".
+	Pattern string
+	// Region is the working-set size in bytes (line-aligned, ≥ 128).
+	Region uint64
+	// MemRatio is the memory-operation fraction; 0 selects 0.4.
+	MemRatio float64
+	// Base is core 0's region base address; core c adds c·CoreStride.
+	Base       uint64
+	CoreStride uint64
+	// Seed is the root RNG seed; core c uses Seed ^ (c+1).
+	Seed uint64
+}
+
+// Enabled reports whether the spec describes any activity.
+func (b BackgroundSpec) Enabled() bool { return b.Region != 0 }
+
+// NewGenerator builds core's background generator. The same spec and core
+// always yield a bit-identical stream, and the returned generator's Reset
+// rewinds it to exactly this state — the pair of invariants the engine's
+// machine-reset path relies on.
+func (b BackgroundSpec) NewGenerator(core int) *Generator {
+	var pat Pattern
+	switch b.Pattern {
+	case "", "stream":
+		pat = &StreamPattern{Region: b.Region}
+	case "random":
+		pat = &RandomPattern{Region: b.Region}
+	default:
+		panic("workload: unknown background pattern " + b.Pattern)
+	}
+	ratio := b.MemRatio
+	if ratio == 0 {
+		ratio = 0.4
+	}
+	return NewGenerator(GeneratorConfig{
+		Pattern:  pat,
+		MemRatio: ratio,
+		Base:     b.Base + uint64(core)*b.CoreStride,
+		Seed:     b.Seed ^ uint64(core+1),
+	})
+}

@@ -1,0 +1,77 @@
+package workload
+
+import "testing"
+
+// TestBackgroundSpecMatchesManualGenerator pins the value-typed descriptor to
+// the generator construction the engine's old closure-based configuration
+// performed: core c gets a stream over Region at Base + c·CoreStride with
+// seed Seed^(c+1) — the contract the virt layer's Dom0 model and the engine
+// tests both rely on for bit-identical results across the refactor.
+func TestBackgroundSpecMatchesManualGenerator(t *testing.T) {
+	spec := BackgroundSpec{
+		Pattern:    "stream",
+		Region:     1 << 16,
+		MemRatio:   0.4,
+		Base:       uint64(250) << 40,
+		CoreStride: uint64(1) << 32,
+		Seed:       0x5eed,
+	}
+	for core := 0; core < 3; core++ {
+		got := spec.NewGenerator(core)
+		want := NewGenerator(GeneratorConfig{
+			Pattern:  &StreamPattern{Region: 1 << 16},
+			MemRatio: 0.4,
+			Base:     uint64(250)<<40 + uint64(core)<<32,
+			Seed:     0x5eed ^ uint64(core+1),
+		})
+		for i := 0; i < 10_000; i++ {
+			g, w := got.Next(), want.Next()
+			if g != w {
+				t.Fatalf("core %d instr %d: spec %+v, manual %+v", core, i, g, w)
+			}
+		}
+	}
+}
+
+func TestBackgroundSpecDefaults(t *testing.T) {
+	// Empty pattern means stream; zero MemRatio means the Dom0 default 0.4.
+	dflt := BackgroundSpec{Region: 4096, Seed: 9}.NewGenerator(0)
+	explicit := BackgroundSpec{Pattern: "stream", Region: 4096, MemRatio: 0.4, Seed: 9}.NewGenerator(0)
+	for i := 0; i < 1_000; i++ {
+		if g, w := dflt.Next(), explicit.Next(); g != w {
+			t.Fatalf("instr %d: default spec %+v, explicit %+v", i, g, w)
+		}
+	}
+}
+
+func TestBackgroundSpecRandomPattern(t *testing.T) {
+	got := BackgroundSpec{Pattern: "random", Region: 1 << 14, MemRatio: 0.3, Seed: 4}.NewGenerator(1)
+	want := NewGenerator(GeneratorConfig{
+		Pattern:  &RandomPattern{Region: 1 << 14},
+		MemRatio: 0.3,
+		Seed:     4 ^ 2,
+	})
+	for i := 0; i < 1_000; i++ {
+		if g, w := got.Next(), want.Next(); g != w {
+			t.Fatalf("instr %d: %+v vs %+v", i, g, w)
+		}
+	}
+}
+
+func TestBackgroundSpecEnabled(t *testing.T) {
+	if (BackgroundSpec{}).Enabled() {
+		t.Fatal("zero spec reports enabled")
+	}
+	if !(BackgroundSpec{Region: 64}).Enabled() {
+		t.Fatal("sized spec reports disabled")
+	}
+}
+
+func TestBackgroundSpecUnknownPatternPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown pattern accepted")
+		}
+	}()
+	BackgroundSpec{Pattern: "chase", Region: 4096}.NewGenerator(0)
+}

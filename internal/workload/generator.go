@@ -17,6 +17,30 @@ type RefSource interface {
 	Next() Ref
 }
 
+// RunSource is the bulk form of RefSource: NextRun advances the stream by up
+// to limit instructions in one call, returning the length of the compute run
+// and the memory operation that ends it (see Generator.NextRun for the exact
+// contract — skipped+1 ≤ limit instructions consumed when mem is true,
+// exactly limit compute instructions when mem is false). The engine's batch
+// loop detects RunSource implementations and pays one interface call per
+// memory operation instead of one per instruction; Generator and the trace
+// package's compiled/streaming replays all implement it.
+type RunSource interface {
+	RefSource
+	NextRun(limit int) (skipped int, addr uint64, mem bool)
+}
+
+// Rewinder is implemented by instruction sources that can rewind to their
+// initial state in place. Rewind reports whether the rewind succeeded; a
+// false return means the source cannot reproduce its stream (for example a
+// streaming trace whose underlying reader failed) and the caller must
+// rebuild the workload instead of reusing it. kernel.Thread.Reset consults
+// this interface, which is what lets trace-driven workloads ride the
+// experiments arena cache like synthetic ones.
+type Rewinder interface {
+	Rewind() bool
+}
+
 // Generator emits the instruction stream of one thread. Memory operations
 // are interleaved deterministically at the profile's memory ratio using a
 // fixed-point fractional accumulator (an integer Bresenham walk), and

@@ -61,6 +61,20 @@ type Profile struct {
 	// the process-shared region (multi-threaded profiles only).
 	SharedFrac float64
 
+	// MakeSources, when set, replaces synthetic generation entirely: the
+	// profile's threads run the returned instruction sources (trace replays,
+	// custom models) instead of NewThreads generators. The asid keeps the
+	// sources' address spaces disjoint exactly as NewThreads would; seed and
+	// div are passed through for sources that still derive anything from
+	// them (trace replays typically ignore both — the stream is the capture).
+	MakeSources func(asid int, seed uint64, div uint64) []RefSource
+	// Fingerprint identifies an externally sourced instruction stream (the
+	// content hash of a trace file). It is empty for synthetic profiles;
+	// when set it participates in workload cache keys and shard pool hashes
+	// so two trace pools that happen to share benchmark names cannot be
+	// confused for one another.
+	Fingerprint string
+
 	makePattern func(div uint64, seed uint64) Pattern
 	makeShared  func(div uint64, seed uint64) Pattern // nil if single-threaded
 }
@@ -173,6 +187,23 @@ func (p Profile) NewThreads(asid int, seed uint64, div uint64) []*Generator {
 		})
 	}
 	return gens
+}
+
+// NewSources instantiates the profile's threads as instruction sources: the
+// MakeSources override when present (trace-driven profiles), the synthetic
+// NewThreads generators otherwise. kernel.Workload consumes profiles through
+// this method, drawing exactly one seed per profile either way, so a pool
+// that mixes synthetic and trace-driven profiles perturbs neither's streams.
+func (p Profile) NewSources(asid int, seed uint64, div uint64) []RefSource {
+	if p.MakeSources != nil {
+		return p.MakeSources(asid, seed, div)
+	}
+	gens := p.NewThreads(asid, seed, div)
+	srcs := make([]RefSource, len(gens))
+	for i, g := range gens {
+		srcs[i] = g
+	}
+	return srcs
 }
 
 // stackedPattern routes a StackFrac share of accesses to a small stack

@@ -21,6 +21,38 @@ type RefSource = workload.RefSource
 // replays stand in for re-execution).
 type TraceReplay = trace.Replay
 
+// CompiledTrace is a trace decoded into run-length form: one 16-byte record
+// per memory reference instead of one Ref per instruction, and the shape the
+// engine's fast batch loop replays directly (see ReplayTrace).
+type CompiledTrace = trace.CompiledTrace
+
+// RunReplay is a replay cursor over a CompiledTrace; it implements the
+// engine's bulk RunSource interface, so replay simulates at generator speed
+// rather than through per-instruction dispatch. Any number of cursors may
+// share one compiled trace.
+type RunReplay = trace.RunReplay
+
+// StreamReplay replays a trace directly from a seekable source through a
+// fixed decode-ahead buffer: memory stays O(buffer) regardless of trace
+// size, which is how multi-GB captures are simulated.
+type StreamReplay = trace.StreamReplay
+
+// CompileTrace decodes a binary trace into run-length form.
+func CompileTrace(r io.Reader) (*CompiledTrace, error) { return trace.Compile(r) }
+
+// ReplayTrace returns a fast replay cursor over a compiled trace. Loop wraps
+// the stream forever; base is added to every replayed address (rebasing a
+// trace captured in address space 1 into another process's space).
+func ReplayTrace(ct *CompiledTrace, loop bool, base uint64) *RunReplay {
+	return trace.NewRunReplay(ct, loop, base)
+}
+
+// StreamTrace opens a streaming replay over src with a bufRuns-run
+// decode-ahead buffer (0 selects the 4096-run default).
+func StreamTrace(src io.ReadSeeker, bufRuns int, loop bool, base uint64) (*StreamReplay, error) {
+	return trace.NewStreamReplay(src, bufRuns, loop, base)
+}
+
 // CaptureTrace records n instructions of the named benchmark's reference
 // stream (thread 0, address-space 1) into w using the compact binary trace
 // format. The scale divisor matches Options semantics: 16 is the
