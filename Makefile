@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci lint vet build test race shardcheck tracecheck benchsmoke benchgate bench clean
+.PHONY: ci lint vet build test race shardcheck tracecheck benchsmoke allocbench benchgate bench clean
 
-ci: lint build race shardcheck tracecheck benchsmoke
+ci: lint build race shardcheck tracecheck benchsmoke allocbench
 
 # Style gate: gofmt must be clean, vet must pass, and staticcheck runs when
 # the host has it (CI and dev boxes without it still get the first two).
@@ -56,12 +56,22 @@ tracecheck:
 benchsmoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
-# Perf regression gate: measure the Fig 10 sweep and fail if it is >15%
-# slower than the newest recorded baseline entry. Wall time on shared
+# Allocator-scaling smoke: one quick pass of the dense/sparse/repair latency
+# sweep (P up to 4096) so the allocator benchmark harness can't bit-rot.
+# Dense is capped at P=64 here; `make benchgate` and the recorded artifacts
+# carry the real measurements.
+allocbench:
+	$(GO) run ./cmd/bench -alloconly -allocreps 3 -allocdense 64
+
+# Perf regression gate: measure the Fig 10 sweep plus the allocator latency
+# sweep and fail if either is >15% slower than the newest recorded baseline
+# entry (or if any determinism checksum diverges). Wall time on shared
 # runners is noisy — CI runs this as a soft (continue-on-error) job; treat
-# a local failure on a quiet box as real.
+# a local failure on a quiet box as real. Dense allocator points beyond
+# P=256 are skipped here (minutes per invocation); unmatched baseline
+# points are simply not compared.
 benchgate:
-	$(GO) run ./cmd/bench -reps 3 -check results/BENCH_2026-08-06.json -tolerance 0.15
+	$(GO) run ./cmd/bench -reps 3 -alloc -allocreps 11 -allocdense 256 -check results/BENCH_2026-08-06.json -tolerance 0.15
 
 # Real measurement: the recorded Figure 10 sweep harness. Appends to
 # results/BENCH_<date>.json; see README "Performance".

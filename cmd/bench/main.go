@@ -25,6 +25,12 @@
 // (or when the determinism checksums diverge — different experiments must
 // never be compared). In check mode no artifact is written unless -out is
 // given explicitly.
+//
+// Allocator microbenchmark: -alloc adds the dense/sparse/repair allocation
+// latency sweep (P ∈ {64, 256, 1024, 4096}, k = P/16) to the entry;
+// -alloconly runs just that sweep. See alloc.go for the protocol and the
+// -allocreps/-allocdense knobs. The -check gate extends to allocator points
+// present in both entries.
 package main
 
 import (
@@ -60,6 +66,9 @@ type Entry struct {
 	AvgImprovementPct float64 `json:"avg_improvement_pct"`
 	MaxImprovementPct float64 `json:"max_improvement_pct"`
 	Note              string  `json:"note,omitempty"`
+	// Alloc holds the allocator microbenchmark points when -alloc was given;
+	// see cmd/bench/alloc.go.
+	Alloc []AllocPoint `json:"alloc,omitempty"`
 }
 
 func main() {
@@ -71,7 +80,14 @@ func main() {
 	shards := flag.Int("shards", 1, "run the sweep as N sequential in-process shards and merge them (1 = direct sweep); exercises the shard protocol end to end")
 	check := flag.String("check", "", "baseline bench JSON: compare against its newest entry and exit non-zero on regression")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional slowdown vs the baseline in -check mode")
+	allocBench := flag.Bool("alloc", false, "also run the allocator microbenchmark (dense/sparse/repair latency across the P-sweep)")
+	allocOnly := flag.Bool("alloconly", false, "run only the allocator microbenchmark, skipping the Figure 10 sweep")
+	allocReps := flag.Int("allocreps", 21, "allocator benchmark invocations per point (p50/p99 are computed over these)")
+	allocDense := flag.Int("allocdense", 256, "largest P at which the dense allocator baseline is measured (0 disables; P=1024 costs minutes per invocation)")
 	flag.Parse()
+	if *allocOnly {
+		*allocBench = true
+	}
 
 	cfg := experiments.Quick()
 	pool := pool()
@@ -118,25 +134,35 @@ func main() {
 			e.Note += "; " + tag
 		}
 	}
-	for i := 0; i < *reps; i++ {
-		start := time.Now()
-		rep := runSweep()
-		secs := time.Since(start).Seconds()
-		e.Reps = append(e.Reps, secs)
-		if e.MinSeconds < 0 || secs < e.MinSeconds {
-			e.MinSeconds = secs
+	if !*allocOnly {
+		for i := 0; i < *reps; i++ {
+			start := time.Now()
+			rep := runSweep()
+			secs := time.Since(start).Seconds()
+			e.Reps = append(e.Reps, secs)
+			if e.MinSeconds < 0 || secs < e.MinSeconds {
+				e.MinSeconds = secs
+			}
+			e.AvgImprovementPct = 100 * rep.Overall()
+			e.MaxImprovementPct = 100 * rep.MaxOverall()
+			fmt.Fprintf(os.Stderr, "rep %d/%d: %.3fs (avg %.3f%%, max %.2f%%)\n",
+				i+1, *reps, secs, e.AvgImprovementPct, e.MaxImprovementPct)
 		}
-		e.AvgImprovementPct = 100 * rep.Overall()
-		e.MaxImprovementPct = 100 * rep.MaxOverall()
-		fmt.Fprintf(os.Stderr, "rep %d/%d: %.3fs (avg %.3f%%, max %.2f%%)\n",
-			i+1, *reps, secs, e.AvgImprovementPct, e.MaxImprovementPct)
+	}
+	if *allocBench {
+		e.Alloc = runAllocBench(*allocReps, *allocDense)
 	}
 
 	if *check != "" {
-		checkRegression(*check, e, *tolerance)
+		checkRegression(*check, e, *tolerance, !*allocOnly)
 		if *out == "" {
 			return
 		}
+	}
+	if *allocOnly && *out == "" {
+		// The alloc-only sweep is a smoke/inspection mode (make allocbench);
+		// recording an artifact requires an explicit -out.
+		return
 	}
 
 	path := *out
@@ -152,6 +178,10 @@ func main() {
 	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
 		fatal(err)
 	}
+	if *allocOnly {
+		fmt.Printf("%s: %s %d allocator points\n", path, e.Label, len(e.Alloc))
+		return
+	}
 	fmt.Printf("%s: %s min %.3fs over %d reps\n", path, e.Label, e.MinSeconds, *reps)
 	if n := len(rpt.Entries); n >= 2 {
 		base, cur := rpt.Entries[0], rpt.Entries[n-1]
@@ -166,9 +196,12 @@ func main() {
 // checkRegression is the perf gate: the measured entry must reproduce the
 // baseline's determinism checksums exactly (otherwise the two builds ran
 // different experiments and no time comparison is meaningful) and must not
-// be more than tolerance slower than the baseline's newest entry. Exits
-// the process non-zero on either violation.
-func checkRegression(path string, e Entry, tolerance float64) {
+// be more than tolerance slower than the baseline's newest entry. When both
+// entries carry allocator points, the matching points are gated the same
+// way (exact checksum, tolerance on p50). Exits the process non-zero on any
+// violation. sweepRan is false under -alloconly, where only the allocator
+// points are comparable.
+func checkRegression(path string, e Entry, tolerance float64, sweepRan bool) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		fatal(fmt.Errorf("-check baseline: %w", err))
@@ -181,20 +214,27 @@ func checkRegression(path string, e Entry, tolerance float64) {
 		fatal(fmt.Errorf("-check baseline %s has no entries", path))
 	}
 	ref := base.Entries[len(base.Entries)-1]
-	if ref.AvgImprovementPct != e.AvgImprovementPct || ref.MaxImprovementPct != e.MaxImprovementPct {
-		fmt.Fprintf(os.Stderr, "bench: determinism checksum mismatch vs baseline %q: avg %.12f%% / max %.12f%%, baseline %.12f%% / %.12f%% — the experiment itself changed, record a new baseline before gating on time\n",
-			ref.Label, e.AvgImprovementPct, e.MaxImprovementPct, ref.AvgImprovementPct, ref.MaxImprovementPct)
-		os.Exit(1)
-	}
-	limit := ref.MinSeconds * (1 + tolerance)
-	ratio := e.MinSeconds/ref.MinSeconds - 1
-	if e.MinSeconds > limit {
-		fmt.Fprintf(os.Stderr, "bench: REGRESSION: min %.3fs vs baseline %q %.3fs (%+.1f%%, tolerance %.0f%%)\n",
+	if sweepRan {
+		if ref.AvgImprovementPct != e.AvgImprovementPct || ref.MaxImprovementPct != e.MaxImprovementPct {
+			fmt.Fprintf(os.Stderr, "bench: determinism checksum mismatch vs baseline %q: avg %.12f%% / max %.12f%%, baseline %.12f%% / %.12f%% — the experiment itself changed, record a new baseline before gating on time\n",
+				ref.Label, e.AvgImprovementPct, e.MaxImprovementPct, ref.AvgImprovementPct, ref.MaxImprovementPct)
+			os.Exit(1)
+		}
+		limit := ref.MinSeconds * (1 + tolerance)
+		ratio := e.MinSeconds/ref.MinSeconds - 1
+		if e.MinSeconds > limit {
+			fmt.Fprintf(os.Stderr, "bench: REGRESSION: min %.3fs vs baseline %q %.3fs (%+.1f%%, tolerance %.0f%%)\n",
+				e.MinSeconds, ref.Label, ref.MinSeconds, 100*ratio, 100*tolerance)
+			os.Exit(1)
+		}
+		fmt.Printf("bench: ok: min %.3fs vs baseline %q %.3fs (%+.1f%%, tolerance %.0f%%)\n",
 			e.MinSeconds, ref.Label, ref.MinSeconds, 100*ratio, 100*tolerance)
-		os.Exit(1)
 	}
-	fmt.Printf("bench: ok: min %.3fs vs baseline %q %.3fs (%+.1f%%, tolerance %.0f%%)\n",
-		e.MinSeconds, ref.Label, ref.MinSeconds, 100*ratio, 100*tolerance)
+	if len(e.Alloc) > 0 && len(ref.Alloc) > 0 {
+		if !checkAllocPoints(ref.Alloc, e.Alloc, tolerance) {
+			os.Exit(1)
+		}
+	}
 }
 
 // pool returns the Figure 10 bench pool: six SPEC profiles spanning every

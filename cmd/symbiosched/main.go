@@ -7,7 +7,7 @@
 //	symbiosched [flags] <experiment>
 //
 // Experiments: fig1, fig5 (also covers fig2), fig3a, fig3b, table1, fig10,
-// fig11, fig12, fig13, fig14, overheads, all.
+// fig11, fig12, fig13, fig14, overheads, quad, fairness, allocscale, all.
 //
 // Flags:
 //
@@ -211,6 +211,8 @@ func main() {
 			emit(experiments.QuadCore(qc, nil).Table())
 		case "fairness":
 			emit(experiments.Fairness(cfg).Table())
+		case "allocscale":
+			emit(experiments.AllocScale(cfg))
 		case "pairs":
 			emit(experiments.Figure3b(cfg).MatrixTable())
 		default:
@@ -431,6 +433,7 @@ experiments:
   overheads  §5.4 storage-cost accounting
   quad       8 processes on 4 cores via hierarchical MIN-CUT (§3.3.2 extension)
   fairness   per-mapping slowdowns and Jain fairness index
+  allocscale allocator latency: dense vs sparse vs incremental repair, P up to 4096
   pairs      full pairwise degradation matrix (the data behind fig3b)
   list       the synthetic benchmark catalog
   all        everything above

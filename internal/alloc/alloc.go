@@ -41,8 +41,46 @@ func (m Mapping) Equal(o Mapping) bool {
 // labels describe the same co-location and canonicalise identically —
 // exactly what the majority vote of §4.1 needs to count.
 func (m Mapping) Canonical() Mapping {
-	rename := map[int]int{}
-	out := make(Mapping, len(m))
+	return m.CanonicalInto(nil)
+}
+
+// CanonicalInto canonicalises into dst, growing it only when its capacity is
+// insufficient. The monitor calls this every period on a reused buffer;
+// with core labels in [0, 256) — every real machine — the rename table lives
+// on the stack and the steady-state call performs zero allocations.
+func (m Mapping) CanonicalInto(dst Mapping) Mapping {
+	if cap(dst) < len(m) {
+		dst = make(Mapping, len(m))
+	}
+	dst = dst[:len(m)]
+	const bound = 256
+	hi := 0
+	for _, c := range m {
+		if c < 0 || c >= bound {
+			return m.canonicalMap(dst)
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	var rename [bound]int16
+	for i := range rename[:hi+1] {
+		rename[i] = -1
+	}
+	next := int16(0)
+	for i, c := range m {
+		if rename[c] < 0 {
+			rename[c] = next
+			next++
+		}
+		dst[i] = int(rename[c])
+	}
+	return dst
+}
+
+// canonicalMap is the fallback for out-of-range core labels.
+func (m Mapping) canonicalMap(dst Mapping) Mapping {
+	rename := make(map[int]int, len(m))
 	next := 0
 	for i, c := range m {
 		r, ok := rename[c]
@@ -51,9 +89,9 @@ func (m Mapping) Canonical() Mapping {
 			rename[c] = r
 			next++
 		}
-		out[i] = r
+		dst[i] = r
 	}
-	return out
+	return dst
 }
 
 // Key renders the canonical mapping as a compact string usable as a map key,
@@ -199,8 +237,14 @@ type InterferenceGraph struct{}
 // Name returns the paper's name for the algorithm.
 func (InterferenceGraph) Name() string { return "interference-graph" }
 
-// Allocate implements Policy.
+// Allocate implements Policy. Beyond sparseThreshold threads the dense n×n
+// matrix and the O(n⁴) recursive bisection are replaced by the top-m sparse
+// graph and the multilevel partitioner; below it the dense path runs
+// unchanged, so small-machine decisions are bit-identical to prior releases.
 func (InterferenceGraph) Allocate(views []kernel.View, cores int) Mapping {
+	if len(views) > sparseThreshold {
+		return partitionOrKeepSparse(buildSparseGraph(views, false, nil), views, cores)
+	}
 	return partitionOrKeep(buildGraph(views, false), views, cores)
 }
 
@@ -222,8 +266,19 @@ type WeightedInterferenceGraph struct{}
 // Name returns the paper's name for the algorithm.
 func (WeightedInterferenceGraph) Name() string { return "weighted-interference-graph" }
 
-// Allocate implements Policy.
+// Allocate implements Policy. Large thread counts take the sparse multilevel
+// path; see InterferenceGraph.Allocate.
 func (WeightedInterferenceGraph) Allocate(views []kernel.View, cores int) Mapping {
+	if len(views) > sparseThreshold {
+		return partitionOrKeepSparse(buildSparseGraph(views, true, nil), views, cores)
+	}
+	return partitionOrKeep(buildGraph(views, true), views, cores)
+}
+
+// AllocateDense forces the dense matrix + recursive-bisection path regardless
+// of thread count — the pre-sparsification baseline, kept callable so the
+// benchmark harness can measure the crossover honestly.
+func (WeightedInterferenceGraph) AllocateDense(views []kernel.View, cores int) Mapping {
 	return partitionOrKeep(buildGraph(views, true), views, cores)
 }
 

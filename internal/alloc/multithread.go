@@ -21,8 +21,13 @@ type TwoPhase struct{}
 // Name returns the algorithm's name.
 func (TwoPhase) Name() string { return "two-phase-multithreaded" }
 
-// Allocate implements Policy.
+// Allocate implements Policy. Beyond sparseThreshold threads the phase-2
+// graph is built and partitioned sparsely (see sparse.go); below it the
+// dense path runs unchanged.
 func (TwoPhase) Allocate(views []kernel.View, cores int) Mapping {
+	if len(views) > sparseThreshold {
+		return twoPhaseSparse(views, cores)
+	}
 	g := buildGraph(views, true)
 
 	// Pin weight: larger than any possible sum of real edges so the MIN-CUT

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllocScaleQuick(t *testing.T) {
+	tbl := AllocScale(Quick())
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("quick AllocScale: %d rows, want 2 (P=64, P=256)", len(tbl.Rows))
+	}
+	s := tbl.String()
+	for _, want := range []string{"64", "256", "sparse"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+	// Dense is measured at P=64 (a real number) and skipped at P=256 at
+	// quick scale.
+	if tbl.Rows[0][2] == "-" {
+		t.Fatal("P=64 dense baseline not measured")
+	}
+	if tbl.Rows[1][2] != "-" {
+		t.Fatal("P=256 dense baseline should be skipped at quick scale")
+	}
+}
+
+func TestSynthAllocViewsDeterministic(t *testing.T) {
+	a, b := SynthAllocViews(96, 8), SynthAllocViews(96, 8)
+	if len(a) != 96 {
+		t.Fatalf("len %d", len(a))
+	}
+	for i := range a {
+		if a[i].Occupancy != b[i].Occupancy || a[i].Symbiosis[3] != b[i].Symbiosis[3] {
+			t.Fatalf("view %d differs between identical calls", i)
+		}
+		if !a[i].HasSig || len(a[i].Symbiosis) != 8 || len(a[i].Overlap) != 8 {
+			t.Fatalf("view %d malformed", i)
+		}
+	}
+}

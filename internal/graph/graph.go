@@ -242,12 +242,18 @@ func (g *Graph) bisectKL() ([]int, []int) {
 	return a, b
 }
 
-// PartitionK partitions the nodes into k balanced groups by hierarchical
-// bisection (§3.3.2's extension to more cores). k must be a power of two.
-func (g *Graph) PartitionK(k int) [][]int {
+// validateK guards both partitioners (dense and sparse) with the identical
+// contract: k must be a positive power of two.
+func validateK(k int) {
 	if k <= 0 || k&(k-1) != 0 {
 		panic(fmt.Sprintf("graph: k=%d must be a positive power of two", k))
 	}
+}
+
+// PartitionK partitions the nodes into k balanced groups by hierarchical
+// bisection (§3.3.2's extension to more cores). k must be a power of two.
+func (g *Graph) PartitionK(k int) [][]int {
+	validateK(k)
 	if k == 1 {
 		return [][]int{allNodes(g.n)}
 	}

@@ -1,0 +1,256 @@
+// Incremental partition repair: the enabler for online re-scheduling every
+// quantum (ROADMAP direction 2). A signature delta changes a handful of
+// interference weights; instead of recomputing the k-way partition from
+// scratch, the caller updates the affected edges (Partition.UpdateWeight)
+// and calls RepairPartition with the touched nodes — a localized boundary
+// refinement that mends the cut while preserving the ±1 balance invariant.
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+const repairPasses = 8
+
+// Partition is a k-way node→group assignment with the bookkeeping repair
+// needs: group sizes and an incrementally maintained cut weight.
+type Partition struct {
+	assign []int32
+	sizes  []int32
+	k      int
+	cut    float64
+}
+
+// PartitionFromGroups wraps a group list (as returned by PartitionK) for the
+// graph g. Every node must appear in exactly one group.
+func PartitionFromGroups(g *Sparse, groups [][]int) *Partition {
+	pt := &Partition{
+		assign: make([]int32, g.n),
+		sizes:  make([]int32, len(groups)),
+		k:      len(groups),
+	}
+	for i := range pt.assign {
+		pt.assign[i] = -1
+	}
+	for gi, grp := range groups {
+		for _, v := range grp {
+			g.check(v)
+			if pt.assign[v] >= 0 {
+				panic(fmt.Sprintf("graph: node %d in two groups", v))
+			}
+			pt.assign[v] = int32(gi)
+		}
+		pt.sizes[gi] = int32(len(grp))
+	}
+	for v, a := range pt.assign {
+		if a < 0 {
+			panic(fmt.Sprintf("graph: node %d in no group", v))
+		}
+	}
+	pt.cut = g.CutK(pt.assign)
+	return pt
+}
+
+// NewPartition partitions g into k groups and wraps the result for repair.
+func (s *Sparse) NewPartition(k int) *Partition {
+	return PartitionFromGroups(s, s.PartitionK(k))
+}
+
+// K returns the group count.
+func (pt *Partition) K() int { return pt.k }
+
+// Cut returns the incrementally maintained cut weight.
+func (pt *Partition) Cut() float64 { return pt.cut }
+
+// Group returns the group of node v.
+func (pt *Partition) Group(v int) int { return int(pt.assign[v]) }
+
+// Assign returns the node→group assignment. The slice aliases the
+// partition's state and must not be modified.
+func (pt *Partition) Assign() []int32 { return pt.assign }
+
+// Groups materializes the partition as sorted groups, the PartitionK shape.
+func (pt *Partition) Groups() [][]int {
+	groups := make([][]int, pt.k)
+	backing := make([]int, len(pt.assign))
+	off := 0
+	for gi := int32(0); gi < int32(pt.k); gi++ {
+		grp := backing[off:off]
+		for v, a := range pt.assign {
+			if a == gi {
+				grp = append(grp, v)
+			}
+		}
+		off += len(grp)
+		groups[gi] = grp
+	}
+	return groups
+}
+
+// UpdateWeight overwrites the weight of existing edge {i,j} through
+// Sparse.UpdateWeight and keeps the partition's cut bookkeeping in sync.
+// Reports false (and changes nothing) when the edge is not in the graph —
+// the signal that the sparsified structure has drifted and a rebuild is due.
+func (pt *Partition) UpdateWeight(g *Sparse, i, j int, w float64) bool {
+	old := g.Weight(i, j)
+	if !g.UpdateWeight(i, j, w) {
+		return false
+	}
+	if pt.assign[i] != pt.assign[j] {
+		pt.cut += w - old
+	}
+	return true
+}
+
+// RepairPartition mends the cut around the touched nodes after weight
+// updates, drawing scratch from the internal pool. Returns the number of
+// node moves applied.
+func RepairPartition(g *Sparse, pt *Partition, touched []int) int {
+	p := partitionerPool.Get().(*Partitioner)
+	defer partitionerPool.Put(p)
+	return p.Repair(g, pt, touched)
+}
+
+// Repair is RepairPartition running on this arena's scratch: a localized
+// greedy refinement seeded by the touched nodes and their neighbors. Single
+// moves apply when the group sizes stay within the balanced ⌊n/k⌋..⌈n/k⌉
+// envelope; otherwise the best balance-preserving swap with a neighbor in
+// the target group is tried. Every applied change strictly reduces the cut;
+// the active set expands to moved nodes' neighborhoods, bounded by a fixed
+// pass budget.
+func (p *Partitioner) Repair(g *Sparse, pt *Partition, touched []int) int {
+	n := g.n
+	if len(pt.assign) != n {
+		panic(fmt.Sprintf("graph: partition of %d nodes for %d-node graph", len(pt.assign), n))
+	}
+	k := pt.k
+	floor := int32(n / k)
+	ceil := int32((n + k - 1) / k)
+	p.conn = growF64(p.conn, k)
+	p.connSeen = growBool(p.connSeen, k)
+	for i := 0; i < k; i++ {
+		p.conn[i] = 0
+		p.connSeen[i] = false
+	}
+	p.activeIn = growBool(p.activeIn, n)
+	for i := range p.activeIn {
+		p.activeIn[i] = false
+	}
+	p.active = p.active[:0]
+	add := func(v int32) {
+		if !p.activeIn[v] {
+			p.activeIn[v] = true
+			p.active = append(p.active, v)
+		}
+	}
+	for _, v := range touched {
+		g.check(v)
+		add(int32(v))
+		cols, _ := g.Row(v)
+		for _, u := range cols {
+			add(u)
+		}
+	}
+	slices.Sort(p.active)
+
+	moves := 0
+	for pass := 0; pass < repairPasses && len(p.active) > 0; pass++ {
+		p.nextAct = p.nextAct[:0]
+		changed := false
+		for _, v32 := range p.active {
+			v := int(v32)
+			c := pt.assign[v]
+			cols, wts := g.Row(v)
+			// Connection weights from v to each adjacent group.
+			p.connTouch = p.connTouch[:0]
+			for t, u := range cols {
+				d := pt.assign[u]
+				if !p.connSeen[d] {
+					p.connSeen[d] = true
+					p.connTouch = append(p.connTouch, d)
+				}
+				p.conn[d] += wts[t]
+			}
+			slices.Sort(p.connTouch)
+			// Best single move: max gain, ties to the smallest group id.
+			best, bestGain := int32(-1), 1e-12
+			for _, d := range p.connTouch {
+				if d == c {
+					continue
+				}
+				if gain := p.conn[d] - p.conn[c]; gain > bestGain {
+					best, bestGain = d, gain
+				}
+			}
+			applied := false
+			if best >= 0 && pt.sizes[c]-1 >= floor && pt.sizes[best]+1 <= ceil {
+				pt.assign[v] = best
+				pt.sizes[c]--
+				pt.sizes[best]++
+				pt.cut -= bestGain
+				applied = true
+			} else if best >= 0 {
+				// Balance forbids the move: look for a profitable swap with
+				// a neighbor in any better-connected group.
+				swapU, swapD, swapGain := int32(-1), int32(-1), 1e-12
+				for t, u := range cols {
+					d := pt.assign[u]
+					if d == c || p.conn[d]-p.conn[c] <= 1e-12 {
+						continue
+					}
+					uc, ud := p.connTwo(g, pt, int(u), c, d)
+					gain := (p.conn[d] - p.conn[c]) + (uc - ud) - 2*wts[t]
+					if gain > swapGain || (gain == swapGain && swapU >= 0 && u < swapU) {
+						swapU, swapD, swapGain = u, d, gain
+					}
+				}
+				if swapU >= 0 {
+					pt.assign[v] = swapD
+					pt.assign[swapU] = c
+					pt.cut -= swapGain
+					applied = true
+					if !p.activeIn[swapU] {
+						p.activeIn[swapU] = true
+					}
+					p.nextAct = append(p.nextAct, swapU)
+				}
+			}
+			for _, d := range p.connTouch {
+				p.conn[d] = 0
+				p.connSeen[d] = false
+			}
+			if applied {
+				moves++
+				changed = true
+				for _, u := range cols {
+					if !p.activeIn[u] {
+						p.activeIn[u] = true
+						p.nextAct = append(p.nextAct, u)
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		p.active = append(p.active, p.nextAct...)
+		slices.Sort(p.active)
+		p.active = slices.Compact(p.active)
+	}
+	return moves
+}
+
+// connTwo returns node u's connection weights to groups c and d.
+func (p *Partitioner) connTwo(g *Sparse, pt *Partition, u int, c, d int32) (wc, wd float64) {
+	cols, wts := g.Row(u)
+	for t, x := range cols {
+		switch pt.assign[x] {
+		case c:
+			wc += wts[t]
+		case d:
+			wd += wts[t]
+		}
+	}
+	return wc, wd
+}

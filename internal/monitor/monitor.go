@@ -31,7 +31,10 @@ type Monitor struct {
 	votes       map[string]int
 	sample      map[string]alloc.Mapping
 	invocations int
-	smoothed    map[int]*smoothState
+	// smoothed is indexed by ThreadID — the kernel guarantees dense global
+	// IDs, so a slice beats a map at the thousands-of-threads scale the
+	// sparse allocator path targets. Entries are nil until first profiled.
+	smoothed []*smoothState
 
 	// views is the reusable snapshot buffer (the monitor re-reads the same
 	// thread set every period, so the backing arrays stabilise after the
@@ -57,7 +60,6 @@ func New(p alloc.Policy) *Monitor {
 		Smoothing: 0.5,
 		votes:     map[string]int{},
 		sample:    map[string]alloc.Mapping{},
-		smoothed:  map[int]*smoothState{},
 	}
 }
 
@@ -86,6 +88,9 @@ func (mo *Monitor) smooth(views []kernel.View) []kernel.View {
 		v := &views[i]
 		if !v.HasSig {
 			continue
+		}
+		for v.ThreadID >= len(mo.smoothed) {
+			mo.smoothed = append(mo.smoothed, nil)
 		}
 		st := mo.smoothed[v.ThreadID]
 		if st == nil || len(st.symbiosis) != len(v.Symbiosis) || len(st.overlap) != len(v.Overlap) {
