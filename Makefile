@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci lint vet build test race shardcheck tracecheck benchsmoke allocbench benchgate bench clean
+.PHONY: ci lint vet build test race shardcheck tracecheck sigcheck benchsmoke allocbench sigbench benchgate bench clean
 
-ci: lint build race shardcheck tracecheck benchsmoke allocbench
+ci: lint build race shardcheck tracecheck sigcheck benchsmoke allocbench sigbench
 
 # Style gate: gofmt must be clean, vet must pass, and staticcheck runs when
 # the host has it (CI and dev boxes without it still get the first two).
@@ -51,6 +51,19 @@ tracecheck:
 	$(GO) test -count=1 -run 'TestReader|TestCompile|TestCorrupt|TestTruncated|TestRunReplay|TestStreamReplay|TestBatchReplay|FuzzTraceRoundTrip' ./internal/trace
 	$(GO) test -count=1 -run 'TestTrace|TestSelectProfiles|TestArenaVirt' ./internal/experiments
 
+# The lazy-signature contract, uncached: eager and lazy capture are
+# bit-identical under random schedules, directed copy-on-write mutation, the
+# codec, and the full two-phase campaign; the fused popcount kernel matches
+# its two-pass oracle (seed corpus of the differential fuzz target); the
+# monitor quantum and the per-switch capture stay allocation-free; the
+# scratch bisection matches the allocating one.
+sigcheck:
+	$(GO) test -count=1 -run 'TestLazy|TestSignatureCodecLazyMaterialization|TestSignatureClone|TestSignatureRelease|TestCaptureSteadyStateAllocs' ./internal/bloom
+	$(GO) test -count=1 -run 'TestXorAndCountMatchesNaive|FuzzXorAndCount' ./internal/bitvec
+	$(GO) test -count=1 -run 'TestBisectIntoMatchesBisect' ./internal/graph
+	$(GO) test -count=1 -run 'TestMonitorSteadyStateAllocs|TestObserveScratchMatchesAllocate' ./internal/monitor
+	$(GO) test -count=1 -run 'TestEagerLazyCampaignParity' ./internal/experiments
+
 # One iteration of every benchmark: catches bit-rot in the bench suite (and
 # regenerates each figure once) without committing to real measurement time.
 benchsmoke:
@@ -63,15 +76,21 @@ benchsmoke:
 allocbench:
 	$(GO) run ./cmd/bench -alloconly -allocreps 3 -allocdense 64
 
-# Perf regression gate: measure the Fig 10 sweep plus the allocator latency
-# sweep and fail if either is >15% slower than the newest recorded baseline
-# entry (or if any determinism checksum diverges). Wall time on shared
-# runners is noisy — CI runs this as a soft (continue-on-error) job; treat
-# a local failure on a quiet box as real. Dense allocator points beyond
-# P=256 are skipped here (minutes per invocation); unmatched baseline
-# points are simply not compared.
+# Signature-path smoke: one quick pass of the per-switch capture and
+# monitor-quantum sweep — each point self-checks eager-vs-lazy parity, so
+# this doubles as an end-to-end capture-equivalence gate at full geometry.
+sigbench:
+	$(GO) run ./cmd/bench -sigonly -sigreps 3
+
+# Perf regression gate: measure the Fig 10 sweep plus the allocator and
+# signature latency sweeps and fail if any is >15% slower than the newest
+# recorded baseline entry (or if any determinism checksum diverges). Wall
+# time on shared runners is noisy — CI runs this as a soft
+# (continue-on-error) job; treat a local failure on a quiet box as real.
+# Dense allocator points beyond P=256 are skipped here (minutes per
+# invocation); unmatched baseline points are simply not compared.
 benchgate:
-	$(GO) run ./cmd/bench -reps 3 -alloc -allocreps 11 -allocdense 256 -check results/BENCH_2026-08-06.json -tolerance 0.15
+	$(GO) run ./cmd/bench -reps 3 -alloc -allocreps 11 -allocdense 256 -sig -sigreps 5 -check results/BENCH_2026-08-06.json -tolerance 0.15
 
 # Real measurement: the recorded Figure 10 sweep harness. Appends to
 # results/BENCH_<date>.json; see README "Performance".

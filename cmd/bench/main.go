@@ -69,6 +69,15 @@ type Entry struct {
 	// Alloc holds the allocator microbenchmark points when -alloc was given;
 	// see cmd/bench/alloc.go.
 	Alloc []AllocPoint `json:"alloc,omitempty"`
+	// Sig holds the signature-path microbenchmark points when -sig was
+	// given; see cmd/bench/sig.go.
+	Sig []SigPoint `json:"sig,omitempty"`
+	// RepsMP1/MinSecondsMP1 record the same sweep pinned to GOMAXPROCS=1
+	// when -mp1 was given, so single-core and native-parallel numbers live
+	// in one entry (on a 1-vCPU host the two coincide; recording both keeps
+	// the protocol honest when the host grows cores).
+	RepsMP1       []float64 `json:"rep_seconds_mp1,omitempty"`
+	MinSecondsMP1 float64   `json:"min_seconds_mp1,omitempty"`
 }
 
 func main() {
@@ -84,10 +93,18 @@ func main() {
 	allocOnly := flag.Bool("alloconly", false, "run only the allocator microbenchmark, skipping the Figure 10 sweep")
 	allocReps := flag.Int("allocreps", 21, "allocator benchmark invocations per point (p50/p99 are computed over these)")
 	allocDense := flag.Int("allocdense", 256, "largest P at which the dense allocator baseline is measured (0 disables; P=1024 costs minutes per invocation)")
+	sigBench := flag.Bool("sig", false, "also run the signature-path microbenchmark (per-switch capture cost eager vs lazy, monitor-quantum latency across the (P,N) grid)")
+	sigOnly := flag.Bool("sigonly", false, "run only the signature-path microbenchmark, skipping the Figure 10 sweep")
+	sigReps := flag.Int("sigreps", 7, "signature benchmark samples per point (p50 is computed over these)")
+	mp1 := flag.Bool("mp1", false, "after the native-GOMAXPROCS reps, repeat the sweep pinned to GOMAXPROCS=1 and record both in the entry")
 	flag.Parse()
 	if *allocOnly {
 		*allocBench = true
 	}
+	if *sigOnly {
+		*sigBench = true
+	}
+	microOnly := *allocOnly || *sigOnly
 
 	cfg := experiments.Quick()
 	pool := pool()
@@ -134,7 +151,7 @@ func main() {
 			e.Note += "; " + tag
 		}
 	}
-	if !*allocOnly {
+	if !microOnly {
 		for i := 0; i < *reps; i++ {
 			start := time.Now()
 			rep := runSweep()
@@ -148,20 +165,43 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rep %d/%d: %.3fs (avg %.3f%%, max %.2f%%)\n",
 				i+1, *reps, secs, e.AvgImprovementPct, e.MaxImprovementPct)
 		}
+		if *mp1 {
+			native := runtime.GOMAXPROCS(1)
+			for i := 0; i < *reps; i++ {
+				start := time.Now()
+				rep := runSweep()
+				secs := time.Since(start).Seconds()
+				e.RepsMP1 = append(e.RepsMP1, secs)
+				if e.MinSecondsMP1 == 0 || secs < e.MinSecondsMP1 {
+					e.MinSecondsMP1 = secs
+				}
+				// The sweep is deterministic regardless of parallelism; a
+				// GOMAXPROCS=1 run that disagrees is a concurrency bug.
+				if 100*rep.Overall() != e.AvgImprovementPct || 100*rep.MaxOverall() != e.MaxImprovementPct {
+					fatal(fmt.Errorf("GOMAXPROCS=1 sweep diverged from native run: avg %.12f%% vs %.12f%%",
+						100*rep.Overall(), e.AvgImprovementPct))
+				}
+				fmt.Fprintf(os.Stderr, "rep %d/%d (GOMAXPROCS=1): %.3fs\n", i+1, *reps, secs)
+			}
+			runtime.GOMAXPROCS(native)
+		}
 	}
 	if *allocBench {
 		e.Alloc = runAllocBench(*allocReps, *allocDense)
 	}
+	if *sigBench {
+		e.Sig = runSigBench(*sigReps)
+	}
 
 	if *check != "" {
-		checkRegression(*check, e, *tolerance, !*allocOnly)
+		checkRegression(*check, e, *tolerance, !microOnly)
 		if *out == "" {
 			return
 		}
 	}
-	if *allocOnly && *out == "" {
-		// The alloc-only sweep is a smoke/inspection mode (make allocbench);
-		// recording an artifact requires an explicit -out.
+	if microOnly && *out == "" {
+		// The micro-only sweeps are smoke/inspection modes (make allocbench,
+		// make sigbench); recording an artifact requires an explicit -out.
 		return
 	}
 
@@ -178,8 +218,9 @@ func main() {
 	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
 		fatal(err)
 	}
-	if *allocOnly {
-		fmt.Printf("%s: %s %d allocator points\n", path, e.Label, len(e.Alloc))
+	if microOnly {
+		fmt.Printf("%s: %s %d allocator points, %d signature points\n",
+			path, e.Label, len(e.Alloc), len(e.Sig))
 		return
 	}
 	fmt.Printf("%s: %s min %.3fs over %d reps\n", path, e.Label, e.MinSeconds, *reps)
@@ -232,6 +273,11 @@ func checkRegression(path string, e Entry, tolerance float64, sweepRan bool) {
 	}
 	if len(e.Alloc) > 0 && len(ref.Alloc) > 0 {
 		if !checkAllocPoints(ref.Alloc, e.Alloc, tolerance) {
+			os.Exit(1)
+		}
+	}
+	if len(e.Sig) > 0 && len(ref.Sig) > 0 {
+		if !checkSigPoints(ref.Sig, e.Sig, tolerance) {
 			os.Exit(1)
 		}
 	}

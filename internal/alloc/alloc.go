@@ -328,6 +328,13 @@ func currentPlacement(views []kernel.View, cores int) (Mapping, bool) {
 // WeightedInterferenceGraph).
 func buildGraph(views []kernel.View, weighted bool) *graph.Graph {
 	g := graph.New(len(views))
+	fillGraph(g, views, weighted)
+	return g
+}
+
+// fillGraph populates an already-sized graph with the interference edges —
+// the shared body of buildGraph and the scratch (allocation-free) path.
+func fillGraph(g *graph.Graph, views []kernel.View, weighted bool) {
 	for i, vi := range views {
 		if !vi.HasSig {
 			continue
@@ -346,10 +353,63 @@ func buildGraph(views []kernel.View, weighted bool) *graph.Graph {
 					w = float64(vi.Overlap[core])
 				}
 			} else {
-				w = interference(vi.Symbiosis[core])
+				w = interference(int(vi.Symbiosis[core]))
 			}
 			g.AddWeight(i, j, w)
 		}
 	}
-	return g
+}
+
+// Scratch holds the reusable buffers for ScratchPolicy invocations: the
+// dense interference graph, the bisection working set and the mapping
+// buffer. The zero value is ready to use; one Scratch serves one monitor
+// (calls must not interleave).
+type Scratch struct {
+	g       graph.Graph
+	bisect  graph.BisectScratch
+	mapping Mapping
+}
+
+// ScratchPolicy is implemented by policies that can allocate without heap
+// churn given reusable buffers. The monitor prefers this path; the returned
+// mapping aliases s and is overwritten by the next call, so callers that
+// retain it must copy (the monitor's vote recording already does).
+type ScratchPolicy interface {
+	Policy
+	AllocateScratch(views []kernel.View, cores int, s *Scratch) Mapping
+}
+
+// AllocateScratch implements ScratchPolicy for the weighted interference
+// graph. The zero-allocation fast path covers the dense two-core decision —
+// the monitor's steady state on the paper's dual-core machines, where this
+// runs every period — reusing s's graph, bisection buffers and mapping.
+// Other shapes (k > 2 hierarchical bisection, the sparse large-P path, and
+// the no-signal placement fallback) defer to Allocate; the decisions are
+// identical on every path because the scratch fast path runs the same
+// fillGraph + BisectInto procedure Allocate does.
+func (p WeightedInterferenceGraph) AllocateScratch(views []kernel.View, cores int, s *Scratch) Mapping {
+	if len(views) > sparseThreshold || cores != 2 {
+		return p.Allocate(views, cores)
+	}
+	s.g.Reset(len(views))
+	fillGraph(&s.g, views, true)
+	if s.g.TotalWeight() == 0 {
+		// No signal: keep the current placement (see partitionOrKeep).
+		if cur, ok := currentPlacement(views, cores); ok {
+			return cur
+		}
+		return RoundRobin{}.Allocate(views, cores)
+	}
+	a, b := s.g.BisectInto(&s.bisect)
+	if cap(s.mapping) < len(views) {
+		s.mapping = make(Mapping, len(views))
+	}
+	m := s.mapping[:len(views)]
+	for _, t := range a {
+		m[t] = 0
+	}
+	for _, t := range b {
+		m[t] = 1
+	}
+	return m
 }

@@ -7,7 +7,7 @@ import (
 )
 
 // view builds a monitor view with the given occupancy and symbiosis vector.
-func view(id, proc, lastCore, occ int, sym ...int) kernel.View {
+func view(id, proc, lastCore, occ int, sym ...int32) kernel.View {
 	return kernel.View{
 		ThreadID:  id,
 		ProcID:    proc,
@@ -20,7 +20,7 @@ func view(id, proc, lastCore, occ int, sym ...int) kernel.View {
 }
 
 // viewOv builds a view with explicit per-core footprint overlaps.
-func viewOv(id, proc, lastCore, occ int, sym, ov []int) kernel.View {
+func viewOv(id, proc, lastCore, occ int, sym, ov []int32) kernel.View {
 	v := view(id, proc, lastCore, occ, sym...)
 	v.Overlap = ov
 	return v
@@ -89,10 +89,10 @@ func TestWeightSortGroupSizes(t *testing.T) {
 
 func TestMissRateSortUsesMissRate(t *testing.T) {
 	views := []kernel.View{
-		{ThreadID: 0, HasSig: true, L2MissRate: 0.9, Symbiosis: []int{1, 1}},
-		{ThreadID: 1, HasSig: true, L2MissRate: 0.1, Symbiosis: []int{1, 1}},
-		{ThreadID: 2, HasSig: true, L2MissRate: 0.8, Symbiosis: []int{1, 1}},
-		{ThreadID: 3, HasSig: true, L2MissRate: 0.2, Symbiosis: []int{1, 1}},
+		{ThreadID: 0, HasSig: true, L2MissRate: 0.9, Symbiosis: []int32{1, 1}},
+		{ThreadID: 1, HasSig: true, L2MissRate: 0.1, Symbiosis: []int32{1, 1}},
+		{ThreadID: 2, HasSig: true, L2MissRate: 0.8, Symbiosis: []int32{1, 1}},
+		{ThreadID: 3, HasSig: true, L2MissRate: 0.2, Symbiosis: []int32{1, 1}},
 	}
 	m := MissRateSort{}.Allocate(views, 2)
 	if m[0] != m[2] || m[1] != m[3] || m[0] == m[1] {
@@ -148,12 +148,12 @@ func TestWeightedGraphDiscountsLowOccupancy(t *testing.T) {
 	views := []kernel.View{
 		// P0: tiny occupancy, spuriously low (= "bad") symbiosis numbers,
 		// but overlaps bounded by its one-bit RBV.
-		viewOv(0, 0, 0, 1, []int{100, 1, 2, 3}, []int{0, 1, 1, 1}),
+		viewOv(0, 0, 0, 1, []int32{100, 1, 2, 3}, []int32{0, 1, 1, 1}),
 		// P1 and P2: heavy, genuinely overlapping with each other's cores.
-		viewOv(1, 1, 1, 80, []int{100, 100, 4, 100}, []int{5, 0, 70, 5}),
-		viewOv(2, 2, 2, 80, []int{100, 4, 100, 100}, []int{5, 70, 0, 5}),
+		viewOv(1, 1, 1, 80, []int32{100, 100, 4, 100}, []int32{5, 0, 70, 5}),
+		viewOv(2, 2, 2, 80, []int32{100, 4, 100, 100}, []int32{5, 70, 0, 5}),
 		// P3: heavy but benign everywhere.
-		viewOv(3, 3, 3, 60, []int{200, 200, 200, 200}, []int{3, 3, 3, 0}),
+		viewOv(3, 3, 3, 60, []int32{200, 200, 200, 200}, []int32{3, 3, 3, 0}),
 	}
 	m := WeightedInterferenceGraph{}.Allocate(views, 2)
 	if m[1] != m[2] {
@@ -209,7 +209,7 @@ func TestPolicyNames(t *testing.T) {
 // process must land on different cores (Fig 8).
 func TestTwoPhaseKeepsThreadGroupsTogether(t *testing.T) {
 	mt := func(id, proc, occ int) kernel.View {
-		v := viewOv(id, proc, 0, occ, []int{10, 10}, []int{0, occ / 2})
+		v := viewOv(id, proc, 0, occ, []int32{10, 10}, []int32{0, int32(occ / 2)})
 		v.Threads = 4
 		return v
 	}
@@ -244,10 +244,10 @@ func TestTwoPhaseKeepsThreadGroupsTogether(t *testing.T) {
 
 func TestTwoPhaseSingleThreadedDegeneratesToWeighted(t *testing.T) {
 	views := []kernel.View{
-		viewOv(0, 0, 0, 1, []int{1, 1}, []int{0, 1}),
-		viewOv(1, 1, 1, 80, []int{4, 90}, []int{60, 0}),
-		viewOv(2, 2, 0, 80, []int{90, 4}, []int{0, 60}),
-		viewOv(3, 3, 1, 60, []int{200, 200}, []int{2, 0}),
+		viewOv(0, 0, 0, 1, []int32{1, 1}, []int32{0, 1}),
+		viewOv(1, 1, 1, 80, []int32{4, 90}, []int32{60, 0}),
+		viewOv(2, 2, 0, 80, []int32{90, 4}, []int32{0, 60}),
+		viewOv(3, 3, 1, 60, []int32{200, 200}, []int32{2, 0}),
 	}
 	tp := TwoPhase{}.Allocate(views, 2)
 	wg := WeightedInterferenceGraph{}.Allocate(views, 2)
@@ -284,14 +284,14 @@ func TestFourCoreAllocation(t *testing.T) {
 	for p := 0; p < 4; p++ {
 		// Pair 2p, 2p+1: last cores p and (p+1)%4; each footprint overlaps
 		// heavily with the other's core and barely with the rest.
-		ov1 := []int{2, 2, 2, 2}
-		ov2 := []int{2, 2, 2, 2}
+		ov1 := []int32{2, 2, 2, 2}
+		ov2 := []int32{2, 2, 2, 2}
 		ov1[(p+1)%4] = 40
 		ov2[p] = 40
 		ov1[p], ov2[(p+1)%4] = 0, 0
 		views = append(views,
-			viewOv(2*p, 2*p, p, 50, []int{100, 100, 100, 100}, ov1),
-			viewOv(2*p+1, 2*p+1, (p+1)%4, 50, []int{100, 100, 100, 100}, ov2),
+			viewOv(2*p, 2*p, p, 50, []int32{100, 100, 100, 100}, ov1),
+			viewOv(2*p+1, 2*p+1, (p+1)%4, 50, []int32{100, 100, 100, 100}, ov2),
 		)
 	}
 	m := WeightedInterferenceGraph{}.Allocate(views, 4)
@@ -333,10 +333,10 @@ func TestCurrentPlacement(t *testing.T) {
 // the current placement instead of reshuffling on an arbitrary tie-break.
 func TestGraphPoliciesKeepPlacementWithoutSignal(t *testing.T) {
 	views := []kernel.View{
-		viewOv(0, 0, 1, 0, []int{0, 0}, []int{0, 0}),
-		viewOv(1, 1, 0, 0, []int{0, 0}, []int{0, 0}),
-		viewOv(2, 2, 1, 0, []int{0, 0}, []int{0, 0}),
-		viewOv(3, 3, 0, 0, []int{0, 0}, []int{0, 0}),
+		viewOv(0, 0, 1, 0, []int32{0, 0}, []int32{0, 0}),
+		viewOv(1, 1, 0, 0, []int32{0, 0}, []int32{0, 0}),
+		viewOv(2, 2, 1, 0, []int32{0, 0}, []int32{0, 0}),
+		viewOv(3, 3, 0, 0, []int32{0, 0}, []int32{0, 0}),
 	}
 	want := Mapping{1, 0, 1, 0}
 	// Only the overlap-weighted policies can observe a literally zero graph:

@@ -34,7 +34,7 @@ func directedTerm(vi *kernel.View, core int, weighted bool) float64 {
 		}
 		return 0
 	}
-	return interference(vi.Symbiosis[core])
+	return interference(int(vi.Symbiosis[core]))
 }
 
 // buildSparseGraph streams the pairwise interference weights

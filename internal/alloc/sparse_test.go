@@ -20,17 +20,17 @@ func clusteredViews(n, cores, clusters int, seed int64) []kernel.View {
 		coreOf[i] = i % cores
 	}
 	for i := range views {
-		sym := make([]int, cores)
-		ov := make([]int, cores)
+		sym := make([]int32, cores)
+		ov := make([]int32, cores)
 		for c := 0; c < cores; c++ {
-			sym[c] = 900 + rng.Intn(100) // high symbiosis = low interference
-			ov[c] = rng.Intn(3)
+			sym[c] = int32(900 + rng.Intn(100)) // high symbiosis = low interference
+			ov[c] = int32(rng.Intn(3))
 		}
 		// Raise interference toward cores hosting cluster-mates.
 		for j := range views {
 			if j != i && j%clusters == i%clusters {
-				sym[coreOf[j]] = 1 + rng.Intn(3)
-				ov[coreOf[j]] = 200 + rng.Intn(50)
+				sym[coreOf[j]] = int32(1 + rng.Intn(3))
+				ov[coreOf[j]] = int32(200 + rng.Intn(50))
 			}
 		}
 		views[i] = kernel.View{
@@ -157,11 +157,11 @@ func TestTwoPhaseSparseKeepsGroupsTogether(t *testing.T) {
 	// 20 processes × 4 threads = 80 threads > sparseThreshold.
 	for p := 0; p < 20; p++ {
 		for th := 0; th < 4; th++ {
-			sym := make([]int, cores)
-			ov := make([]int, cores)
+			sym := make([]int32, cores)
+			ov := make([]int32, cores)
 			for c := range sym {
-				sym[c] = 100 + rng.Intn(900)
-				ov[c] = rng.Intn(40)
+				sym[c] = int32(100 + rng.Intn(900))
+				ov[c] = int32(rng.Intn(40))
 			}
 			views = append(views, kernel.View{
 				ThreadID: id, ProcID: p, Threads: 4, LastCore: id % cores,

@@ -155,6 +155,26 @@ func (v *Vector) AndNot(a, b *Vector) {
 	}
 }
 
+// AndNotCmp stores a ∧ ¬b into v like AndNot, and in the same pass reports
+// whether v's previous contents differed from the result and the population
+// count of the result. This is the lazy signature capture's RBV kernel: one
+// traversal replaces AndNot + Equal + PopCount, and unchanged words are not
+// rewritten (no dirtied cache lines when the RBV is stable across switches).
+// v must not alias a or b.
+func (v *Vector) AndNotCmp(a, b *Vector) (changed bool, pop int) {
+	a.mustMatch(b)
+	v.mustMatch(a)
+	for i := range v.words {
+		w := a.words[i] &^ b.words[i]
+		if v.words[i] != w {
+			changed = true
+			v.words[i] = w
+		}
+		pop += bits.OnesCount64(w)
+	}
+	return changed, pop
+}
+
 // Not stores ¬a into v. v and a may alias.
 func (v *Vector) Not(a *Vector) {
 	v.mustMatch(a)
@@ -184,6 +204,48 @@ func (v *Vector) AndCount(o *Vector) int {
 		c += bits.OnesCount64(w & o.words[i])
 	}
 	return c
+}
+
+// XorAndCount returns popcount(v ⊕ o) and popcount(v ∧ o) in a single pass —
+// the fused symbiosis/overlap kernel. A context-switch signature needs both
+// metrics against the same core filter, and computing them together halves
+// the memory traffic versus XorCount followed by AndCount. The word loop is
+// 4-way unrolled: each iteration loads both operand words once and feeds the
+// XOR and AND popcounts from the same registers.
+func (v *Vector) XorAndCount(o *Vector) (xor, and int) {
+	v.mustMatch(o)
+	a, b := v.words, o.words
+	n := len(a)
+	_ = b[:n] // one bounds check for the whole loop
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		w0, w1, w2, w3 := a[i], a[i+1], a[i+2], a[i+3]
+		x0, x1, x2, x3 := b[i], b[i+1], b[i+2], b[i+3]
+		xor += bits.OnesCount64(w0^x0) + bits.OnesCount64(w1^x1) +
+			bits.OnesCount64(w2^x2) + bits.OnesCount64(w3^x3)
+		and += bits.OnesCount64(w0&x0) + bits.OnesCount64(w1&x1) +
+			bits.OnesCount64(w2&x2) + bits.OnesCount64(w3&x3)
+	}
+	for ; i < n; i++ {
+		xor += bits.OnesCount64(a[i] ^ b[i])
+		and += bits.OnesCount64(a[i] & b[i])
+	}
+	return xor, and
+}
+
+// TestAndSet sets bit i and reports whether the vector's content changed
+// (the bit was previously 0). Callers that must act before a content
+// mutation — the copy-on-write core-filter versioning — use Test first and
+// Set after; this fused form serves the plain "did anything change" case.
+func (v *Vector) TestAndSet(i int) bool {
+	v.check(i)
+	mask := uint64(1) << (uint(i) % wordBits)
+	w := &v.words[i/wordBits]
+	if *w&mask != 0 {
+		return false
+	}
+	*w |= mask
+	return true
 }
 
 // Equal reports whether v and o have identical length and contents.

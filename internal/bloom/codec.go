@@ -21,8 +21,12 @@ import (
 // transfer; the varint encoding keeps typical payloads below that.
 const sigCodecVersion = 1
 
-// MarshalBinary implements encoding.BinaryMarshaler.
+// MarshalBinary implements encoding.BinaryMarshaler. A lazily captured
+// signature is force-materialized first: the wire format carries concrete
+// symbiosis/overlap values, never filter-version references, so a payload
+// encoded before any read decodes identically to one encoded after.
 func (s *Signature) MarshalBinary() ([]byte, error) {
+	s.Materialize()
 	buf := make([]byte, 0, 64)
 	buf = append(buf, sigCodecVersion)
 	buf = binary.AppendUvarint(buf, uint64(s.LastCore))
@@ -137,6 +141,9 @@ func (s *Signature) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("bloom: %d trailing bytes in signature payload", len(data))
 	}
 
+	// A decoded signature is a detached value: drop any lazy-capture state a
+	// reused receiver may still hold so nothing dangles into a unit.
+	s.releaseRefs()
 	s.LastCore = int(lastCore)
 	s.Occupancy = int(occ)
 	s.Symbiosis = sym

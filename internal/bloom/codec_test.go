@@ -141,3 +141,59 @@ func TestSignatureCodecQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSignatureCodecLazyMaterialization pins the wire format against the lazy
+// capture: a signature serialized before it was ever read must decode with
+// symbiosis/overlap identical to one serialized after an explicit read, and
+// both must match an eager twin (Marshal force-materializes, so the payload
+// carries concrete values, never unmaterialized zeros).
+func TestSignatureCodecLazyMaterialization(t *testing.T) {
+	lazyCfg, eagerCfg := lazyPairConfig()
+	ul, ue := NewUnit(lazyCfg), NewUnit(eagerCfg)
+	feed := func(u *Unit) {
+		for i := 0; i < 50; i++ {
+			u.OnFill(i%4, uint64(i*131), i%64, i%4)
+		}
+	}
+	feed(ul)
+	feed(ue)
+	lz := ul.ContextSwitchInto(2, nil) // never read before marshal
+	eg := ue.ContextSwitchInto(2, nil)
+
+	// Mutate the filters so an unfrozen lazy read here would see the wrong
+	// contents, then serialize the still-unmaterialized record.
+	ul.OnFill(1, 99991, 7, 1)
+	ul.OnFill(3, 99993, 9, 3)
+	pre, err := lz.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lz.Materialize()
+	post, err := lz.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var a, b Signature
+	if err := a.UnmarshalBinary(pre); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.UnmarshalBinary(post); err != nil {
+		t.Fatal(err)
+	}
+	for _, got := range []*Signature{&a, &b} {
+		if got.LastCore != eg.LastCore || got.Occupancy != eg.Occupancy {
+			t.Fatalf("decoded core/occupancy (%d,%d), eager (%d,%d)",
+				got.LastCore, got.Occupancy, eg.LastCore, eg.Occupancy)
+		}
+		for j := range eg.Symbiosis {
+			if got.Symbiosis[j] != eg.Symbiosis[j] || got.Overlap[j] != eg.Overlap[j] {
+				t.Fatalf("decoded sym/ov core %d = (%d,%d), eager (%d,%d)",
+					j, got.Symbiosis[j], got.Overlap[j], eg.Symbiosis[j], eg.Overlap[j])
+			}
+		}
+		if !got.RBV.Equal(eg.RBV) {
+			t.Fatal("decoded RBV differs from eager twin")
+		}
+	}
+}

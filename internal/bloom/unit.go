@@ -35,6 +35,13 @@ type Config struct {
 	// the load factor and restores the occupancy signal for cache-filling
 	// pairs at twice the (still small) storage cost.
 	EntriesFactor int
+	// EagerCapture restores the pre-lazy capture behaviour: ContextSwitchInto
+	// computes the full per-core symbiosis/overlap vectors at the switch
+	// instead of deferring them to first read. The two modes are bit-identical
+	// by construction (copy-on-write core-filter versions preserve the
+	// capture-time contents); the flag exists so parity tests and the -sig
+	// benchmark can run both paths through otherwise identical engines.
+	EagerCapture bool
 }
 
 func (c Config) validate() error {
@@ -84,6 +91,14 @@ func DefaultConfig(g Geometry, cores int) Config {
 // Signature is the per-process (or per-VM) record the OS keeps as part of
 // the context: the paper's "(2+N)-entry data structure" of §3.2 plus the raw
 // RBV so software policies can recompute metrics if desired.
+//
+// Signatures captured through a Unit's lazy path (the default) defer the
+// Symbiosis/Overlap popcounts to the first read: the capture snapshots the
+// RBV and takes references on the per-core Core Filter versions (see
+// cfVersion), and Materialize computes the vectors on demand against exactly
+// the capture-time filter contents. Manually constructed or decoded
+// Signatures have no backing unit and behave as plain values — Materialize
+// is a no-op on them.
 type Signature struct {
 	LastCore  int   // core the application last ran on
 	Occupancy int   // popcount(RBV): cache footprint estimate
@@ -95,10 +110,105 @@ type Signature struct {
 	// occupancies (see DESIGN.md note 10).
 	Overlap []int
 	RBV     *bitvec.Vector
+
+	// Lazy-capture state. unit is the capturing Unit (nil once materialized
+	// state has been detached, e.g. by Clone/decode, or for hand-built
+	// values). cfRefs[j] is the Core Filter version referenced at capture;
+	// valid[j] reports whether Symbiosis[j]/Overlap[j] already holds the
+	// value for the current RBV/version pair (memoized across switches whose
+	// RBV and filter versions did not change). mat is the all-valid fast
+	// path flag.
+	unit   *Unit
+	cfRefs []*cfVersion
+	valid  []bool
+	mat    bool
 }
 
-// Clone returns an independent deep copy.
+// Materialize computes any symbiosis/overlap entries not yet filled in,
+// against the Core Filter contents at capture time (frozen copies when a
+// filter has mutated since). It is idempotent and cheap when already
+// materialized; signatures without a backing unit are returned unchanged.
+// The receiver is returned for chaining.
+func (s *Signature) Materialize() *Signature {
+	if s.mat || s.unit == nil {
+		return s
+	}
+	u := s.unit
+	for j := range s.Symbiosis {
+		if s.valid[j] {
+			continue
+		}
+		cfj := s.cfRefs[j].vec
+		if cfj == nil {
+			// Version still live: the filter has not content-mutated since
+			// capture, so its current contents ARE the capture-time contents.
+			cfj = u.cf[j]
+		}
+		if j == s.LastCore {
+			// Own core: measure against the filter with the RBV masked out
+			// (see ContextSwitch doc). scratch is free here — captures and
+			// materializations never interleave within one unit operation.
+			u.scratchFor().AndNot(cfj, s.RBV)
+			s.Symbiosis[j], s.Overlap[j] = s.RBV.XorAndCount(u.scratch)
+		} else {
+			s.Symbiosis[j], s.Overlap[j] = s.RBV.XorAndCount(cfj)
+		}
+		s.valid[j] = true
+	}
+	s.mat = true
+	return s
+}
+
+// releaseRefs drops the signature's Core Filter version references and
+// detaches it from its unit. Computed Symbiosis/Overlap values survive (they
+// are plain ints), but nothing further can be materialized.
+func (s *Signature) releaseRefs() {
+	u := s.unit
+	if u == nil {
+		return
+	}
+	for j, v := range s.cfRefs {
+		if v != nil {
+			u.dropRef(v)
+			s.cfRefs[j] = nil
+		}
+	}
+	for j := range s.valid {
+		s.valid[j] = false
+	}
+	s.mat = false
+	s.unit = nil
+}
+
+// Release materializes nothing, drops the signature's filter-version
+// references and returns the record to its unit's pool for reuse by a future
+// capture. Call it when the context owning the signature is destroyed (the
+// engine does on Machine.Reset). Releasing a detached signature is a no-op;
+// the caller must not use the signature afterwards.
+func (s *Signature) Release() {
+	if s == nil || s.unit == nil {
+		return
+	}
+	u := s.unit
+	s.releaseRefs()
+	u.sigPool = append(u.sigPool, s)
+}
+
+// ensureLazy sizes the lazy bookkeeping slices for cores entries.
+func (s *Signature) ensureLazy(cores int) {
+	if len(s.cfRefs) != cores {
+		s.cfRefs = make([]*cfVersion, cores)
+	}
+	if len(s.valid) != cores {
+		s.valid = make([]bool, cores)
+	}
+}
+
+// Clone returns an independent deep copy. A lazily captured signature is
+// materialized first, so the clone is a self-contained value that never
+// touches the capturing unit again.
 func (s *Signature) Clone() *Signature {
+	s.Materialize()
 	c := &Signature{LastCore: s.LastCore, Occupancy: s.Occupancy}
 	c.Symbiosis = append([]int(nil), s.Symbiosis...)
 	c.Overlap = append([]int(nil), s.Overlap...)
@@ -106,6 +216,19 @@ func (s *Signature) Clone() *Signature {
 		c.RBV = s.RBV.Clone()
 	}
 	return c
+}
+
+// cfVersion identifies one epoch of a Core Filter's contents. While a
+// version is live its vec is nil and the contents are the unit's cf[j]
+// itself; the first content mutation (a 0→1 fill or a counter-zero evict
+// clear) while any signature references the version freezes it — the
+// pre-mutation contents are copied into vec and a fresh live version opens.
+// Versions are compared by pointer: reference counting guarantees a
+// referenced version is never recycled, so pointer equality is epoch
+// equality (the memoization key for cross-switch reuse).
+type cfVersion struct {
+	refs int
+	vec  *bitvec.Vector // nil while live; frozen pre-mutation copy afterwards
 }
 
 // Unit is the split counting Bloom filter of §3.1: one shared counter array
@@ -129,7 +252,16 @@ type Unit struct {
 	counters []uint32
 	cf       []*bitvec.Vector // core filters, one per core
 	lf       []*bitvec.Vector // last filters (snapshots at context switch)
-	scratch  *bitvec.Vector   // reusable own-core mask buffer (ContextSwitchInto)
+	scratch  *bitvec.Vector   // reusable own-core mask buffer (capture/materialize)
+
+	// Copy-on-write Core Filter versioning for lazy capture: live[j] is the
+	// current (mutating) version of cf[j]. Freed versions, their frozen
+	// vectors and released Signature records are pooled so the steady state
+	// allocates nothing.
+	live    []*cfVersion
+	verPool []*cfVersion
+	vecPool []*bitvec.Vector
+	sigPool []*Signature
 
 	// Stats
 	Fills       uint64 // sampled fills observed
@@ -137,6 +269,7 @@ type Unit struct {
 	Skipped     uint64 // events outside the sampled sets
 	Saturations uint64 // increments lost to counter saturation
 	Underflows  uint64 // decrements of a zero counter
+	Freezes     uint64 // Core Filter versions frozen by copy-on-write
 }
 
 // NewUnit constructs a signature unit. It panics on an invalid Config (the
@@ -165,7 +298,70 @@ func NewUnit(cfg Config) *Unit {
 		u.cf[i] = bitvec.New(entries)
 		u.lf[i] = bitvec.New(entries)
 	}
+	u.live = make([]*cfVersion, cfg.Cores)
+	for i := range u.live {
+		u.live[i] = &cfVersion{}
+	}
 	return u
+}
+
+// scratchFor returns the unit's reusable scratch vector, allocating it on
+// first use.
+func (u *Unit) scratchFor() *bitvec.Vector {
+	if u.scratch == nil {
+		u.scratch = bitvec.New(u.entries)
+	}
+	return u.scratch
+}
+
+// freeze closes core's live Core Filter version before a content mutation:
+// the pre-mutation contents are copied into the version (so referencing
+// signatures keep materializing against capture-time state) and a fresh live
+// version opens. Callers must freeze BEFORE applying the mutation and only
+// when the live version is referenced.
+func (u *Unit) freeze(core int) {
+	v := u.live[core]
+	if n := len(u.vecPool); n > 0 {
+		v.vec = u.vecPool[n-1]
+		u.vecPool = u.vecPool[:n-1]
+		v.vec.CopyFrom(u.cf[core])
+	} else {
+		v.vec = u.cf[core].Clone()
+	}
+	if n := len(u.verPool); n > 0 {
+		u.live[core] = u.verPool[n-1]
+		u.verPool = u.verPool[:n-1]
+	} else {
+		u.live[core] = &cfVersion{}
+	}
+	u.Freezes++
+}
+
+// dropRef releases one reference on a version; fully released frozen
+// versions are recycled (a live version stays owned by the unit).
+func (u *Unit) dropRef(v *cfVersion) {
+	v.refs--
+	if v.refs == 0 && v.vec != nil {
+		u.vecPool = append(u.vecPool, v.vec)
+		v.vec = nil
+		u.verPool = append(u.verPool, v)
+	}
+}
+
+// takeSignature returns a pooled or fresh Signature shaped for this unit.
+func (u *Unit) takeSignature() *Signature {
+	if n := len(u.sigPool); n > 0 {
+		s := u.sigPool[n-1]
+		u.sigPool = u.sigPool[:n-1]
+		return s
+	}
+	return &Signature{
+		Symbiosis: make([]int, u.cfg.Cores),
+		Overlap:   make([]int, u.cfg.Cores),
+		RBV:       bitvec.New(u.entries),
+		cfRefs:    make([]*cfVersion, u.cfg.Cores),
+		valid:     make([]bool, u.cfg.Cores),
+	}
 }
 
 // Config returns the unit's configuration.
@@ -209,7 +405,16 @@ func (u *Unit) OnFill(core int, lineAddr uint64, set, way int) {
 	} else {
 		u.counters[idx]++
 	}
-	u.cf[core].Set(idx)
+	// Content mutations (0→1 only; re-setting a set bit changes nothing)
+	// freeze the live Core Filter version when signatures reference it, so
+	// lazy materialization still sees the capture-time contents.
+	cf := u.cf[core]
+	if !cf.Test(idx) {
+		if u.live[core].refs > 0 {
+			u.freeze(core)
+		}
+		cf.Set(idx)
+	}
 }
 
 // OnEvict records the replacement of the line lineAddr held in frame
@@ -228,8 +433,13 @@ func (u *Unit) OnEvict(lineAddr uint64, set, way int) {
 	}
 	u.counters[idx]--
 	if u.counters[idx] == 0 {
-		for _, cf := range u.cf {
-			cf.Clear(idx)
+		for j, cf := range u.cf {
+			if cf.Test(idx) {
+				if u.live[j].refs > 0 {
+					u.freeze(j)
+				}
+				cf.Clear(idx)
+			}
 		}
 	}
 }
@@ -247,7 +457,7 @@ func (u *Unit) OnEvict(lineAddr uint64, set, way int) {
 // with its current core, and the §3.3 graph algorithms freeze in whatever
 // mapping they start from. See DESIGN.md.
 func (u *Unit) ContextSwitch(core int) *Signature {
-	return u.ContextSwitchInto(core, nil)
+	return u.ContextSwitchInto(core, nil).Materialize()
 }
 
 // ContextSwitchInto is ContextSwitch reusing the buffers of a previously
@@ -256,37 +466,95 @@ func (u *Unit) ContextSwitch(core int) *Signature {
 // making the steady-state capture allocation-free (the OS reuses each
 // context's signature record rather than allocating a new one per switch,
 // exactly like real per-task kernel state). A nil or mismatched reuse falls
-// back to a fresh allocation. Callers must not pass a signature that other
-// code still aliases — the engine passes the descheduled thread's own
+// back to the unit's signature pool. Callers must not pass a signature that
+// other code still aliases — the engine passes the descheduled thread's own
 // record, which is being replaced anyway.
+//
+// By default the capture is LAZY: only the RBV (one fused AndNot/compare/
+// popcount pass) and N version references are taken here — O(filter words
+// + N) instead of the eager O(N · filter words) — and the per-core
+// Symbiosis/Overlap vectors are owed until Materialize (which the kernel
+// snapshot calls). When the RBV, last core and every referenced filter
+// version are unchanged since the previous capture into the same record,
+// the previously materialized entries remain valid and the next Materialize
+// is free — the cross-switch memoization that makes tight switch/monitor
+// ratios cheap. Config.EagerCapture routes to ContextSwitchEagerInto.
 func (u *Unit) ContextSwitchInto(core int, reuse *Signature) *Signature {
+	if u.cfg.EagerCapture {
+		return u.ContextSwitchEagerInto(core, reuse)
+	}
 	cf := u.cf[core]
 	sig := reuse
+	if sig != nil && sig.unit != nil && sig.unit != u {
+		// The thread migrated from another unit (multi-socket machines):
+		// its references belong to the old unit's pools.
+		sig.releaseRefs()
+	}
 	if sig == nil || sig.RBV == nil || sig.RBV.Len() != u.entries ||
 		len(sig.Symbiosis) != u.cfg.Cores || len(sig.Overlap) != u.cfg.Cores {
-		sig = &Signature{
-			Symbiosis: make([]int, u.cfg.Cores),
-			Overlap:   make([]int, u.cfg.Cores),
-			RBV:       bitvec.New(u.entries),
-		}
+		sig = u.takeSignature()
 	}
+	sig.ensureLazy(u.cfg.Cores)
+	changed, pop := sig.RBV.AndNotCmp(cf, u.lf[core])
+	same := !changed && sig.unit == u && core == sig.LastCore
+	sig.Occupancy = pop
+	sig.LastCore = core
+	sig.unit = u
+	if !same {
+		// New RBV (or new record/core): every memoized entry is stale.
+		for j := range sig.valid {
+			sig.valid[j] = false
+		}
+		sig.mat = false
+	}
+	for j := 0; j < u.cfg.Cores; j++ {
+		nv := u.live[j]
+		nv.refs++
+		if ov := sig.cfRefs[j]; ov != nil {
+			if ov != nv && sig.valid[j] {
+				// The filter moved to a new epoch: the memoized value was
+				// computed against different contents.
+				sig.valid[j] = false
+				sig.mat = false
+			}
+			u.dropRef(ov)
+		}
+		sig.cfRefs[j] = nv
+	}
+	u.lf[core].CopyFrom(cf)
+	return sig
+}
+
+// ContextSwitchEagerInto performs the capture with the symbiosis/overlap
+// vectors computed immediately, as the hardware description in §3.1 does —
+// the pre-lazy behaviour, kept as the parity baseline and for callers that
+// always read every vector they capture. The returned signature is fully
+// materialized and holds no version references.
+func (u *Unit) ContextSwitchEagerInto(core int, reuse *Signature) *Signature {
+	cf := u.cf[core]
+	sig := reuse
+	if sig != nil && sig.unit != nil {
+		sig.releaseRefs()
+	}
+	if sig == nil || sig.RBV == nil || sig.RBV.Len() != u.entries ||
+		len(sig.Symbiosis) != u.cfg.Cores || len(sig.Overlap) != u.cfg.Cores {
+		sig = u.takeSignature()
+	}
+	sig.ensureLazy(u.cfg.Cores)
 	rbv := sig.RBV
 	rbv.AndNot(cf, u.lf[core])
 	sig.LastCore = core
 	sig.Occupancy = rbv.PopCount()
 	for j := 0; j < u.cfg.Cores; j++ {
 		if j == core {
-			if u.scratch == nil {
-				u.scratch = bitvec.New(u.entries)
-			}
-			u.scratch.AndNot(cf, rbv)
-			sig.Symbiosis[j] = rbv.XorCount(u.scratch)
-			sig.Overlap[j] = rbv.AndCount(u.scratch)
+			u.scratchFor().AndNot(cf, rbv)
+			sig.Symbiosis[j], sig.Overlap[j] = rbv.XorAndCount(u.scratch)
 		} else {
-			sig.Symbiosis[j] = rbv.XorCount(u.cf[j])
-			sig.Overlap[j] = rbv.AndCount(u.cf[j])
+			sig.Symbiosis[j], sig.Overlap[j] = rbv.XorAndCount(u.cf[j])
 		}
+		sig.valid[j] = true
 	}
+	sig.mat = true
 	u.lf[core].CopyFrom(cf)
 	return sig
 }
@@ -331,16 +599,23 @@ func (u *Unit) SymbiosisAgainst(rbv *bitvec.Vector, core int) int {
 // after which footprint estimates may be biased low.
 func (u *Unit) Saturated() bool { return u.Saturations > 0 }
 
-// Reset clears all counters, filters and statistics.
+// Reset clears all counters, filters and statistics. Outstanding lazy
+// signatures stay materializable: any referenced live Core Filter version is
+// frozen (zeroing a filter is a content mutation like any other) before the
+// filters clear, so a signature captured before the reset still materializes
+// to its pre-reset values.
 func (u *Unit) Reset() {
 	for i := range u.counters {
 		u.counters[i] = 0
 	}
 	for i := range u.cf {
+		if u.live[i].refs > 0 && u.cf[i].Any() {
+			u.freeze(i)
+		}
 		u.cf[i].Reset()
 		u.lf[i].Reset()
 	}
-	u.Fills, u.Evicts, u.Skipped, u.Saturations, u.Underflows = 0, 0, 0, 0, 0
+	u.Fills, u.Evicts, u.Skipped, u.Saturations, u.Underflows, u.Freezes = 0, 0, 0, 0, 0, 0
 }
 
 // Overhead models the §5.4 hardware-cost accounting: the storage added by

@@ -198,6 +198,17 @@ func New(cfg Config, procs []*kernel.Process) *Machine {
 // Affinity field, exactly as in New. Per-core background generators are
 // rewound in place so their streams restart from scratch.
 func (m *Machine) Reset(procs []*kernel.Process) {
+	// Return the outgoing threads' signature records to their units' pools
+	// first: the next process set then captures into pooled records instead
+	// of allocating, and no stale lazy references keep Core Filter versions
+	// alive across the unit resets below. (ResetWorkload may already have
+	// released them; Release on a detached record is a no-op.)
+	for _, t := range m.threads {
+		if t.Sig != nil {
+			t.Sig.Release()
+			t.Sig = nil
+		}
+	}
 	m.hier.Reset()
 	for _, u := range m.units {
 		u.Reset()
@@ -808,6 +819,14 @@ func (m *Machine) runBackground(c int) {
 // context, and rotates the core's run queue. The capture reuses the
 // thread's previous signature record in place (allocation-free in steady
 // state) and is skipped entirely when the signature unit is detached.
+//
+// The capture is lazy (see bloom.ContextSwitchInto): only the RBV and the
+// filter-version references are taken here, so the per-switch cost inside
+// the batch execution loops (batchGen/batchReplay/batchSrc all funnel their
+// quantum expiries through this path) is O(filter words), not O(cores ×
+// filter words). The symbiosis/overlap vectors materialize when the monitor
+// snapshot reads them — runs whose signatures are never read (phase-2
+// pinned runs, detached-monitor sweeps) never pay for them.
 func (m *Machine) contextSwitch(c int) {
 	cs := &m.cores[c]
 	if !m.cfg.DisableSignature {

@@ -108,11 +108,11 @@ func SynthAllocViews(p, cores int) []kernel.View {
 	rng := rand.New(rand.NewSource(int64(p)*1009 + int64(cores)))
 	views := make([]kernel.View, p)
 	for i := range views {
-		sym := make([]int, cores)
-		ov := make([]int, cores)
+		sym := make([]int32, cores)
+		ov := make([]int32, cores)
 		for c := range sym {
-			sym[c] = 800 + rng.Intn(200)
-			ov[c] = rng.Intn(4)
+			sym[c] = int32(800 + rng.Intn(200))
+			ov[c] = int32(rng.Intn(4))
 		}
 		views[i] = kernel.View{
 			ThreadID: i, ProcID: i, Threads: 1, LastCore: i % cores,
@@ -123,8 +123,8 @@ func SynthAllocViews(p, cores int) []kernel.View {
 		for j := range views {
 			if j != i && j%cores == i%cores {
 				c := views[j].LastCore
-				views[i].Symbiosis[c] = 1 + rng.Intn(4)
-				views[i].Overlap[c] = 150 + rng.Intn(100)
+				views[i].Symbiosis[c] = int32(1 + rng.Intn(4))
+				views[i].Overlap[c] = int32(150 + rng.Intn(100))
 			}
 		}
 	}

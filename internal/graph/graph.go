@@ -33,6 +33,26 @@ func New(n int) *Graph {
 	return &Graph{n: n, w: make([]float64, n*n)}
 }
 
+// Reset re-sizes the graph to n nodes with every weight zeroed, reusing the
+// weight matrix when its capacity allows — the allocation-free path for
+// callers that rebuild a graph of stable size every period (the monitor's
+// scratch allocation). The zero Graph value is valid to Reset.
+func (g *Graph) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative size %d", n))
+	}
+	if cap(g.w) < n*n {
+		g.w = make([]float64, n*n)
+		g.n = n
+		return
+	}
+	g.w = g.w[:n*n]
+	for i := range g.w {
+		g.w[i] = 0
+	}
+	g.n = n
+}
+
 // Len returns the node count.
 func (g *Graph) Len() int { return g.n }
 
@@ -115,21 +135,41 @@ const exactLimit = 20
 // §3.3.2). Results are sorted; the group containing node 0 comes first, so
 // equal-cut ties resolve deterministically.
 func (g *Graph) Bisect() ([]int, []int) {
+	return g.BisectInto(nil)
+}
+
+// BisectScratch holds the reusable buffers for BisectInto. The zero value is
+// ready to use; A and B are overwritten (and grown as needed) per call.
+type BisectScratch struct {
+	A, B []int
+	side []bool // KL working state (n > exactLimit only)
+}
+
+// BisectInto is Bisect writing the two groups into s's buffers instead of
+// allocating them, for callers that re-bisect a stable-size graph every
+// period. The decision procedure is the same code path as Bisect — identical
+// inputs produce identical groups bit for bit. A nil s behaves like Bisect.
+// The returned slices alias s and are overwritten by the next call.
+func (g *Graph) BisectInto(s *BisectScratch) ([]int, []int) {
+	if s == nil {
+		s = &BisectScratch{}
+	}
 	n := g.n
 	switch {
 	case n == 0:
 		return nil, nil
 	case n == 1:
-		return []int{0}, nil
+		s.A = append(s.A[:0], 0)
+		return s.A, nil
 	}
 	if n <= exactLimit {
-		return g.bisectExact()
+		return g.bisectExact(s)
 	}
-	return g.bisectKL()
+	return g.bisectKL(s)
 }
 
 // bisectExact enumerates every balanced subset containing node 0.
-func (g *Graph) bisectExact() ([]int, []int) {
+func (g *Graph) bisectExact(s *BisectScratch) ([]int, []int) {
 	n := g.n
 	sizeA := (n + 1) / 2
 	bestCut := math.Inf(1)
@@ -147,7 +187,7 @@ func (g *Graph) bisectExact() ([]int, []int) {
 			bestMask = mask
 		}
 	}
-	return maskGroups(bestMask, n)
+	return maskGroupsInto(s, bestMask, n)
 }
 
 func (g *Graph) cutOfMask(mask uint32) float64 {
@@ -163,10 +203,8 @@ func (g *Graph) cutOfMask(mask uint32) float64 {
 	return cut
 }
 
-func maskGroups(mask uint32, n int) ([]int, []int) {
-	sizeA := bits.OnesCount32(mask)
-	a := make([]int, 0, sizeA)
-	b := make([]int, 0, n-sizeA)
+func maskGroupsInto(s *BisectScratch, mask uint32, n int) ([]int, []int) {
+	a, b := s.A[:0], s.B[:0]
 	for i := 0; i < n; i++ {
 		if mask&(1<<uint(i)) != 0 {
 			a = append(a, i)
@@ -174,6 +212,7 @@ func maskGroups(mask uint32, n int) ([]int, []int) {
 			b = append(b, i)
 		}
 	}
+	s.A, s.B = a, b
 	return a, b
 }
 
@@ -181,9 +220,15 @@ func maskGroups(mask uint32, n int) ([]int, []int) {
 // initial balanced split: repeated best-pair swaps until no swap reduces the
 // cut. Good enough for the >20-node cases (large thread counts) where exact
 // search is infeasible.
-func (g *Graph) bisectKL() ([]int, []int) {
+func (g *Graph) bisectKL(s *BisectScratch) ([]int, []int) {
 	n := g.n
-	side := make([]bool, n) // false = A, true = B
+	if cap(s.side) < n {
+		s.side = make([]bool, n)
+	}
+	side := s.side[:n] // false = A, true = B
+	for i := 0; i < (n+1)/2; i++ {
+		side[i] = false
+	}
 	for i := (n + 1) / 2; i < n; i++ {
 		side[i] = true
 	}
@@ -229,7 +274,7 @@ func (g *Graph) bisectKL() ([]int, []int) {
 		}
 		side[bi], side[bj] = true, false
 	}
-	var a, b []int
+	a, b := s.A[:0], s.B[:0]
 	for i := 0; i < n; i++ {
 		if side[i] {
 			b = append(b, i)
@@ -239,6 +284,7 @@ func (g *Graph) bisectKL() ([]int, []int) {
 	}
 	sort.Ints(a)
 	sort.Ints(b)
+	s.A, s.B = a, b
 	return a, b
 }
 

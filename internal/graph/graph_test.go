@@ -147,7 +147,7 @@ func TestBisectExactOptimal(t *testing.T) {
 			if popcount(mask) != 4 {
 				continue
 			}
-			ga, gb := maskGroups(mask, 8)
+			ga, gb := maskGroupsInto(&BisectScratch{}, mask, 8)
 			if cut := g.CutWeight(ga, gb); cut < best-1e-9 {
 				t.Fatalf("trial %d: found cut %g < reported optimum %g", trial, cut, best)
 			}
@@ -336,9 +336,9 @@ func TestKLQualityVsExact(t *testing.T) {
 	worstRatio := 1.0
 	for trial := 0; trial < 10; trial++ {
 		g := randomGraph(18, int64(100+trial))
-		ea, eb := g.bisectExact()
+		ea, eb := g.bisectExact(&BisectScratch{})
 		exact := g.CutWeight(ea, eb)
-		ka, kb := g.bisectKL()
+		ka, kb := g.bisectKL(&BisectScratch{})
 		kl := g.CutWeight(ka, kb)
 		if kl < exact-1e-9 {
 			t.Fatalf("trial %d: KL cut %.3f beat the exact optimum %.3f", trial, kl, exact)
@@ -370,5 +370,60 @@ func TestSubgraphExtraction(t *testing.T) {
 	}
 	if sub.Weight(1, 2) != 2 {
 		t.Fatalf("subgraph weight(3,4) = %g", sub.Weight(1, 2))
+	}
+}
+
+// TestBisectIntoMatchesBisect pins the scratch path to the allocating one:
+// identical halves on random graphs across both the exact (n<=20) and KL
+// regimes, with the scratch reused across trials of different sizes.
+func TestBisectIntoMatchesBisect(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var s BisectScratch
+	for trial := 0; trial < 80; trial++ {
+		n := rng.Intn(41) // 0..40: empty, singleton, exact and KL paths
+		g := New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					g.AddWeight(i, j, float64(1+rng.Intn(50)))
+				}
+			}
+		}
+		a1, b1 := g.Bisect()
+		a2, b2 := g.BisectInto(&s)
+		if len(a1) != len(a2) || len(b1) != len(b2) {
+			t.Fatalf("trial %d (n=%d): sizes (%d,%d) vs (%d,%d)",
+				trial, n, len(a1), len(b1), len(a2), len(b2))
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				t.Fatalf("trial %d (n=%d): A halves differ: %v vs %v", trial, n, a1, a2)
+			}
+		}
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				t.Fatalf("trial %d (n=%d): B halves differ: %v vs %v", trial, n, b1, b2)
+			}
+		}
+	}
+}
+
+// TestResetReusesBacking: Reset within capacity must keep the weight matrix
+// allocation and produce a zeroed graph.
+func TestResetReusesBacking(t *testing.T) {
+	g := New(16)
+	g.AddWeight(0, 5, 3)
+	g.Reset(12)
+	if g.Len() != 12 {
+		t.Fatalf("Len = %d after Reset(12)", g.Len())
+	}
+	if g.TotalWeight() != 0 {
+		t.Fatal("Reset left weights behind")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		g.Reset(12)
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset within capacity allocated %.1f times", allocs)
 	}
 }

@@ -165,6 +165,9 @@ func (t *Thread) Reset() bool {
 	t.CompletionUser = 0
 	t.CostNum, t.CostDen = 0, 0
 	t.MemRefs, t.L2Refs, t.L2Misses = 0, 0, 0
+	// Return the signature record to its unit's pool (and drop its lazy
+	// filter-version references) rather than just dropping the pointer.
+	t.Sig.Release()
 	t.Sig = nil
 	switch g := t.Gen.(type) {
 	case *workload.Generator:
@@ -225,7 +228,10 @@ func Threads(procs []*Process) []*Thread {
 // View is the read-only snapshot of one thread the monitor receives through
 // the §3.2 syscall interface. Occupancy and Symbiosis come from the last
 // captured hardware signature; threads that have not yet been profiled
-// report HasSig false.
+// report HasSig false. The Symbiosis/Overlap entries are int32 — popcounts
+// over a filter never exceed the filter size — so a P×N snapshot packs into
+// half the memory and the Snapshotter can back all views with two flat
+// matrices.
 type View struct {
 	ThreadID   int
 	ProcID     int
@@ -233,8 +239,8 @@ type View struct {
 	Threads    int // thread count of the owning process
 	LastCore   int
 	Occupancy  int
-	Symbiosis  []int
-	Overlap    []int
+	Symbiosis  []int32
+	Overlap    []int32
 	HasSig     bool
 	L2MissRate float64 // performance-counter proxy, for baseline policies
 	L2Misses   uint64
@@ -247,10 +253,11 @@ func Snapshot(procs []*Process) []View {
 
 // SnapshotInto fills buf with monitor views for all threads, reusing buf's
 // backing array and each view's symbiosis/overlap slices when their
-// capacities allow. This is the allocation-free steady-state path for the
-// periodic monitor (§3.2), which re-snapshots every monitoring period; buf
-// may be nil, in which case it behaves like Snapshot. The returned views
-// alias buf and are overwritten by the next call.
+// capacities allow; buf may be nil, in which case it behaves like Snapshot.
+// The returned views alias buf and are overwritten by the next call. Lazily
+// captured signatures are materialized here — the snapshot is the "first
+// read" the lazy capture defers to. The periodic monitor uses a Snapshotter
+// instead, which backs all views with two flat matrices.
 func SnapshotInto(buf []View, procs []*Process) []View {
 	n := 0
 	for _, p := range procs {
@@ -275,14 +282,87 @@ func SnapshotInto(buf []View, procs []*Process) []View {
 				L2Misses:   t.L2Misses,
 			}
 			if t.Sig != nil {
+				sig := t.Sig.Materialize()
 				v.HasSig = true
-				v.LastCore = t.Sig.LastCore
-				v.Occupancy = t.Sig.Occupancy
-				v.Symbiosis = append(sym, t.Sig.Symbiosis...)
-				v.Overlap = append(ov, t.Sig.Overlap...)
+				v.LastCore = sig.LastCore
+				v.Occupancy = sig.Occupancy
+				for _, x := range sig.Symbiosis {
+					sym = append(sym, int32(x))
+				}
+				for _, x := range sig.Overlap {
+					ov = append(ov, int32(x))
+				}
+				v.Symbiosis, v.Overlap = sym, ov
 			}
 			i++
 		}
 	}
 	return buf
+}
+
+// Snapshotter is the struct-of-arrays snapshot path for the periodic
+// monitor: all views' symbiosis vectors live in one flat P×N int32 matrix
+// (and overlaps in a second), with each view's slices aliasing its row. One
+// snapshot performs zero allocations in the steady state — the matrices and
+// the view slice are reused whenever P×N has not grown — where the per-view
+// append path churns P slice headers' worth of bookkeeping per period. The
+// returned views are overwritten by the next Snapshot call.
+type Snapshotter struct {
+	views   []View
+	sym, ov []int32 // flat P×N row-major backing matrices
+}
+
+// Snapshot fills the Snapshotter's backing store with monitor views for all
+// threads and returns them. Lazily captured signatures are materialized.
+func (s *Snapshotter) Snapshot(procs []*Process) []View {
+	p, n := 0, 0
+	for _, pr := range procs {
+		p += len(pr.Threads)
+		for _, t := range pr.Threads {
+			if t.Sig != nil && len(t.Sig.Symbiosis) > n {
+				n = len(t.Sig.Symbiosis)
+			}
+		}
+	}
+	if cap(s.views) < p {
+		s.views = make([]View, p)
+	}
+	if cap(s.sym) < p*n {
+		s.sym = make([]int32, p*n)
+		s.ov = make([]int32, p*n)
+	}
+	s.views, s.sym, s.ov = s.views[:p], s.sym[:p*n], s.ov[:p*n]
+	i := 0
+	for _, pr := range procs {
+		for _, t := range pr.Threads {
+			v := &s.views[i]
+			*v = View{
+				ThreadID:   t.ID,
+				ProcID:     pr.ID,
+				Name:       pr.Name,
+				Threads:    len(pr.Threads),
+				LastCore:   t.Affinity,
+				L2MissRate: t.L2MissRate(),
+				L2Misses:   t.L2Misses,
+			}
+			if t.Sig != nil {
+				sig := t.Sig.Materialize()
+				v.HasSig = true
+				v.LastCore = sig.LastCore
+				v.Occupancy = sig.Occupancy
+				row := i * n
+				sym := s.sym[row : row+len(sig.Symbiosis) : row+n]
+				ov := s.ov[row : row+len(sig.Overlap) : row+n]
+				for j, x := range sig.Symbiosis {
+					sym[j] = int32(x)
+				}
+				for j, x := range sig.Overlap {
+					ov[j] = int32(x)
+				}
+				v.Symbiosis, v.Overlap = sym, ov
+			}
+			i++
+		}
+	}
+	return s.views
 }

@@ -36,12 +36,16 @@ type Monitor struct {
 	// sparse allocator path targets. Entries are nil until first profiled.
 	smoothed []*smoothState
 
-	// views is the reusable snapshot buffer (the monitor re-reads the same
-	// thread set every period, so the backing arrays stabilise after the
-	// first invocation); lastMapping/lastKey memoise the vote key of the
-	// previous decision — policies are usually stable between periods, so
-	// the common case records a vote without re-rendering the key.
-	views       []kernel.View
+	// snap owns the struct-of-arrays view backing (the monitor re-reads the
+	// same thread set every period, so the flat matrices stabilise after the
+	// first invocation); scratch backs ScratchPolicy invocations the same
+	// way; lastMapping/lastKey memoise the vote key of the previous
+	// decision — policies are usually stable between periods, so the common
+	// case records a vote without re-rendering the key. Together these make
+	// the steady-state invocation (snapshot + smooth + allocate + record)
+	// allocation-free; see TestMonitorSteadyStateAllocs.
+	snap        kernel.Snapshotter
+	scratch     alloc.Scratch
 	lastMapping alloc.Mapping
 	lastKey     string
 }
@@ -67,14 +71,30 @@ func New(p alloc.Policy) *Monitor {
 // (smoothed) snapshot, record the vote, and (if Apply) install the mapping.
 func (mo *Monitor) Hook() func(m *engine.Machine, now uint64) {
 	return func(m *engine.Machine, now uint64) {
-		mo.views = kernel.SnapshotInto(mo.views, m.Processes())
-		views := mo.smooth(mo.views)
-		mapping := mo.Policy.Allocate(views, m.Cores())
-		mo.record(mapping)
+		mapping := mo.Observe(m.Processes(), m.Cores())
 		if mo.Apply {
 			m.SetAffinities(mapping)
 		}
 	}
+}
+
+// Observe performs one monitor invocation against a process set directly:
+// snapshot the signature records (materializing lazy captures), fold the
+// readings into the moving averages, run the policy, and record the vote.
+// It returns the decided mapping, which the caller may install; the engine
+// hook does, the -sig benchmark only times it. The returned mapping may
+// alias the monitor's scratch and is overwritten by the next invocation.
+func (mo *Monitor) Observe(procs []*kernel.Process, cores int) alloc.Mapping {
+	views := mo.snap.Snapshot(procs)
+	views = mo.smooth(views)
+	var mapping alloc.Mapping
+	if sp, ok := mo.Policy.(alloc.ScratchPolicy); ok {
+		mapping = sp.AllocateScratch(views, cores, &mo.scratch)
+	} else {
+		mapping = mo.Policy.Allocate(views, cores)
+	}
+	mo.record(mapping)
+	return mapping
 }
 
 // smooth folds the new readings into the per-thread moving averages and
@@ -115,10 +135,10 @@ func (mo *Monitor) smooth(views []kernel.View) []kernel.View {
 		}
 		v.Occupancy = int(st.occupancy + 0.5)
 		for j := range v.Symbiosis {
-			v.Symbiosis[j] = int(st.symbiosis[j] + 0.5)
+			v.Symbiosis[j] = int32(st.symbiosis[j] + 0.5)
 		}
 		for j := range v.Overlap {
-			v.Overlap[j] = int(st.overlap[j] + 0.5)
+			v.Overlap[j] = int32(st.overlap[j] + 0.5)
 		}
 	}
 	return views

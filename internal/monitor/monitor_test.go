@@ -140,8 +140,8 @@ func TestSmoothingDampensNoise(t *testing.T) {
 			ThreadID:  0,
 			HasSig:    true,
 			Occupancy: occ,
-			Symbiosis: []int{occ, occ * 2},
-			Overlap:   []int{occ / 2, occ / 4},
+			Symbiosis: []int32{int32(occ), int32(occ * 2)},
+			Overlap:   []int32{int32(occ / 2), int32(occ / 4)},
 		}}
 	}
 	// Feed a stable reading, then a single outlier: the smoothed view must
@@ -187,5 +187,55 @@ func TestSmoothingSkipsUnsignedViews(t *testing.T) {
 	out := mo.smooth(views)
 	if out[0].Occupancy != 0 {
 		t.Fatal("unsigned view smoothed")
+	}
+}
+
+// TestMonitorSteadyStateAllocs pins the full monitor quantum — flat-matrix
+// snapshot, smoothing write-back, and the scratch allocator path — at zero
+// allocations once warm. This is the O(active) control-loop guarantee: a
+// monitor firing every quantum costs no garbage after the first few firings.
+func TestMonitorSteadyStateAllocs(t *testing.T) {
+	m := testMachine(t, "mcf", "libquantum", "povray", "gobmk")
+	// Run long enough that every thread has been switched out at least once
+	// and carries a hardware signature.
+	m.Run(engine.RunOptions{Horizon: 4_000_000})
+	mo := New(alloc.WeightedInterferenceGraph{})
+	mo.Smoothing = 0.5
+	procs, cores := m.Processes(), m.Cores()
+	for _, p := range procs {
+		for _, th := range p.Threads {
+			if th.Sig == nil {
+				t.Fatalf("thread %d has no signature after warmup run", th.ID)
+			}
+		}
+	}
+	for i := 0; i < 10; i++ { // warm the snapshotter, smoother and scratch
+		mo.Observe(procs, cores)
+	}
+	want := mo.Observe(procs, cores)
+	allocs := testing.AllocsPerRun(100, func() {
+		mo.Observe(procs, cores)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state monitor quantum allocates %.1f objects, want 0", allocs)
+	}
+	// The scratch path must keep producing the same decision it warmed on.
+	if got := mo.Observe(procs, cores); !got.Equal(want) {
+		t.Fatalf("scratch allocator decision drifted: %v vs %v", got, want)
+	}
+}
+
+// TestObserveScratchMatchesAllocate: the zero-alloc scratch path must yield
+// the same mapping as the plain Policy.Allocate path on the same views.
+func TestObserveScratchMatchesAllocate(t *testing.T) {
+	m := testMachine(t, "mcf", "libquantum", "povray", "gobmk")
+	m.Run(engine.RunOptions{Horizon: 4_000_000})
+	procs, cores := m.Processes(), m.Cores()
+
+	scratch := New(alloc.WeightedInterferenceGraph{})
+	got := scratch.Observe(procs, cores)
+	want := alloc.WeightedInterferenceGraph{}.Allocate(kernel.Snapshot(procs), cores)
+	if !got.Equal(want) {
+		t.Fatalf("scratch mapping %v != Allocate mapping %v", got, want)
 	}
 }
