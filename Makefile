@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci lint vet build test race shardcheck tracecheck sigcheck benchsmoke allocbench sigbench benchgate bench clean
+.PHONY: ci lint vet build test race shardcheck tracecheck sigcheck benchsmoke allocbench sigbench tracebench benchgate bench clean
 
-ci: lint build race shardcheck tracecheck sigcheck benchsmoke allocbench sigbench
+ci: lint build race shardcheck tracecheck sigcheck benchsmoke allocbench sigbench tracebench
 
 # Style gate: gofmt must be clean, vet must pass, and staticcheck runs when
 # the host has it (CI and dev boxes without it still get the first two).
@@ -42,14 +42,19 @@ shardcheck:
 	$(GO) test -count=1 -run 'TestShardMergeEquivalence|TestWorkersInvariance' ./internal/experiments
 	$(GO) test -count=1 -run 'TestCoordinatorEndToEnd' ./internal/coordctl
 
-# The trace-replay contract, uncached: the codec round-trips (including the
-# fuzz corpus), the bulk replay loop is bit-identical to the per-instruction
-# interface path and to the synthetic generator fast path, streaming replay
-# matches compiled replay at O(buffer) memory, and trace-driven pools run
-# through the sweep/shard plumbing with content-bound pool hashes.
+# The trace-replay contract, uncached: the codec round-trips (v1 and both v2
+# containers, including the fuzz corpora), every replay path — bulk loop,
+# streaming, compiled, mmap zero-decode, frame-streaming — is bit-identical
+# to v1 stream replay (the four-way parity gate), decode rejects every
+# corruption class without hanging or over-reading, downsampled traces
+# validate against full-rate footprints, trace-driven pools run through the
+# sweep/shard plumbing with content-bound pool hashes, and the
+# content-addressed corpus round-trips over HTTP (fetch, verify, resume,
+# tamper rejection) byte-identically to a local trace-dir sweep.
 tracecheck:
-	$(GO) test -count=1 -run 'TestReader|TestCompile|TestCorrupt|TestTruncated|TestRunReplay|TestStreamReplay|TestBatchReplay|FuzzTraceRoundTrip' ./internal/trace
-	$(GO) test -count=1 -run 'TestTrace|TestSelectProfiles|TestArenaVirt' ./internal/experiments
+	$(GO) test -count=1 -run 'TestReader|TestCompile|TestCorrupt|TestTruncated|TestRunReplay|TestStreamReplay|TestBatchReplay|TestReplayParity|TestCompiledRoundTrip|TestCompiledEmptyAndTailOnly|TestCompiledDecodeErrors|TestReadCompiledLyingHeader|TestWriteV1RoundTrip|TestMmapOpenCompiled|TestFrameStreamReplay|TestDownsample|FuzzTraceRoundTrip|FuzzCompiledDecode' ./internal/trace
+	$(GO) test -count=1 -run 'TestTrace|TestSelectProfiles|TestArenaVirt|TestListTraceDir|TestCorpus' ./internal/experiments
+	$(GO) test -count=1 -run 'TestCorpusCampaignEndToEnd|TestFetchTrace' ./internal/coordctl
 
 # The lazy-signature contract, uncached: eager and lazy capture are
 # bit-identical under random schedules, directed copy-on-write mutation, the
@@ -82,15 +87,25 @@ allocbench:
 sigbench:
 	$(GO) run ./cmd/bench -sigonly -sigreps 3
 
-# Perf regression gate: measure the Fig 10 sweep plus the allocator and
-# signature latency sweeps and fail if any is >15% slower than the newest
-# recorded baseline entry (or if any determinism checksum diverges). Wall
-# time on shared runners is noisy — CI runs this as a soft
+# Trace I/O smoke: one quick pass of the open-latency/replay-throughput
+# sweep on a small fixture — each run self-checks that all four replay paths
+# (v1 compile, compiled read, mmap, framed streaming) produce one identical
+# instruction stream, so this doubles as a replay-parity gate on a trace
+# none of the unit tests generated. Real measurements use -tracemb ≥ 128.
+tracebench:
+	$(GO) run ./cmd/bench -traceonly -tracereps 3 -tracemb 8
+
+# Perf regression gate: measure the Fig 10 sweep plus the allocator,
+# signature, and trace I/O latency sweeps and fail if any is >15% slower
+# than the newest recorded baseline entry (or if any determinism checksum
+# diverges). Wall time on shared runners is noisy — CI runs this as a soft
 # (continue-on-error) job; treat a local failure on a quiet box as real.
 # Dense allocator points beyond P=256 are skipped here (minutes per
-# invocation); unmatched baseline points are simply not compared.
+# invocation); unmatched baseline points are simply not compared. The trace
+# fixture size must match the baseline entry's (points pair by format and
+# record count).
 benchgate:
-	$(GO) run ./cmd/bench -reps 3 -alloc -allocreps 11 -allocdense 256 -sig -sigreps 5 -check results/BENCH_2026-08-06.json -tolerance 0.15
+	$(GO) run ./cmd/bench -reps 3 -alloc -allocreps 11 -allocdense 256 -sig -sigreps 5 -trace -tracereps 5 -tracemb 128 -check results/BENCH_2026-08-06.json -tolerance 0.15
 
 # Real measurement: the recorded Figure 10 sweep harness. Appends to
 # results/BENCH_<date>.json; see README "Performance".

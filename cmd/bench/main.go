@@ -72,6 +72,9 @@ type Entry struct {
 	// Sig holds the signature-path microbenchmark points when -sig was
 	// given; see cmd/bench/sig.go.
 	Sig []SigPoint `json:"sig,omitempty"`
+	// Trace holds the trace I/O benchmark points when -trace was given;
+	// see cmd/bench/trace.go.
+	Trace []TracePoint `json:"trace,omitempty"`
 	// RepsMP1/MinSecondsMP1 record the same sweep pinned to GOMAXPROCS=1
 	// when -mp1 was given, so single-core and native-parallel numbers live
 	// in one entry (on a 1-vCPU host the two coincide; recording both keeps
@@ -96,6 +99,10 @@ func main() {
 	sigBench := flag.Bool("sig", false, "also run the signature-path microbenchmark (per-switch capture cost eager vs lazy, monitor-quantum latency across the (P,N) grid)")
 	sigOnly := flag.Bool("sigonly", false, "run only the signature-path microbenchmark, skipping the Figure 10 sweep")
 	sigReps := flag.Int("sigreps", 7, "signature benchmark samples per point (p50 is computed over these)")
+	traceBench := flag.Bool("trace", false, "also run the trace I/O benchmark (open-to-first-run and replay throughput, v1 vs compiled vs mmap vs compressed)")
+	traceOnly := flag.Bool("traceonly", false, "run only the trace I/O benchmark, skipping the Figure 10 sweep")
+	traceReps := flag.Int("tracereps", 11, "trace benchmark open samples per format (p50/p99 are computed over these)")
+	traceMB := flag.Int("tracemb", 128, "trace benchmark fixture size in MiB of resident run records")
 	mp1 := flag.Bool("mp1", false, "after the native-GOMAXPROCS reps, repeat the sweep pinned to GOMAXPROCS=1 and record both in the entry")
 	flag.Parse()
 	if *allocOnly {
@@ -104,7 +111,10 @@ func main() {
 	if *sigOnly {
 		*sigBench = true
 	}
-	microOnly := *allocOnly || *sigOnly
+	if *traceOnly {
+		*traceBench = true
+	}
+	microOnly := *allocOnly || *sigOnly || *traceOnly
 
 	cfg := experiments.Quick()
 	pool := pool()
@@ -192,6 +202,9 @@ func main() {
 	if *sigBench {
 		e.Sig = runSigBench(*sigReps)
 	}
+	if *traceBench {
+		e.Trace = runTraceBench(*traceReps, *traceMB)
+	}
 
 	if *check != "" {
 		checkRegression(*check, e, *tolerance, !microOnly)
@@ -219,8 +232,8 @@ func main() {
 		fatal(err)
 	}
 	if microOnly {
-		fmt.Printf("%s: %s %d allocator points, %d signature points\n",
-			path, e.Label, len(e.Alloc), len(e.Sig))
+		fmt.Printf("%s: %s %d allocator points, %d signature points, %d trace points\n",
+			path, e.Label, len(e.Alloc), len(e.Sig), len(e.Trace))
 		return
 	}
 	fmt.Printf("%s: %s min %.3fs over %d reps\n", path, e.Label, e.MinSeconds, *reps)
@@ -278,6 +291,11 @@ func checkRegression(path string, e Entry, tolerance float64, sweepRan bool) {
 	}
 	if len(e.Sig) > 0 && len(ref.Sig) > 0 {
 		if !checkSigPoints(ref.Sig, e.Sig, tolerance) {
+			os.Exit(1)
+		}
+	}
+	if len(e.Trace) > 0 && len(ref.Trace) > 0 {
+		if !checkTracePoints(ref.Trace, e.Trace, tolerance) {
 			os.Exit(1)
 		}
 	}

@@ -35,7 +35,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run at test scale")
 	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
 	poolFlag := flag.String("pool", "", "comma-separated benchmark subset (default: the figure's pool)")
-	traceDir := flag.String("trace-dir", "", "replace the figure's pool with the *.trc captures in this directory (must be present on every worker)")
+	traceDir := flag.String("trace-dir", "", "replace the figure's pool with the trace files (*.trc or *.symc) in this directory; workers fetch them from this coordinator's content-addressed /trace endpoint")
 	leaseTimeout := flag.Duration("lease-timeout", 10*time.Minute, "re-dispatch a shard when its lease is this old")
 	maxAttempts := flag.Int("max-attempts", 3, "dispatch attempts per shard before the campaign fails")
 	statusEvery := flag.Duration("status-every", 15*time.Second, "progress line period on stderr (0 disables)")
@@ -87,6 +87,13 @@ func main() {
 	combos, _ := campaign.Combos()
 	logf("coordinator: serving %s (%d combos in %d shards, pool hash %s) on http://%s",
 		campaign.Figure, combos, campaign.ShardTotal, campaign.PoolHash, ln.Addr())
+	if n := len(campaign.Traces); n > 0 {
+		var total int64
+		for _, ref := range campaign.Traces {
+			total += ref.Size
+		}
+		logf("coordinator: corpus of %d traces (%.1f MiB) served at /trace/<fingerprint>", n, float64(total)/(1<<20))
+	}
 	logf("coordinator: start workers with: symbiosched -worker http://<this-host>%s", *addr)
 
 	if *statusEvery > 0 {

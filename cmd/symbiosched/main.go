@@ -44,6 +44,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -63,12 +64,13 @@ func main() {
 	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
 	workers := flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
 	poolFlag := flag.String("pool", "", "comma-separated benchmark subset for the sweeps")
-	traceDir := flag.String("trace-dir", "", "replace the sweep pool with the *.trc captures in this directory (fig10-style sweeps and shards)")
+	traceDir := flag.String("trace-dir", "", "replace the sweep pool with the trace files (*.trc captures or *.symc compiled) in this directory (fig10-style sweeps and shards)")
 	traceStream := flag.Int("trace-stream", 0, "with -trace-dir: stream traces through an N-run decode-ahead buffer instead of compiling them into memory (0 = compile)")
 	shardFlag := flag.String("shard", "", "run one sweep shard, as i/N (fig10/fig11/fig12 only)")
 	outFlag := flag.String("out", "", "shard output path (default <fig>-shard-<i>of<N>.json)")
 	mergeFlag := flag.String("merge", "", "merge shard files matching this glob and print the report")
 	workerFlag := flag.String("worker", "", "serve a campaign coordinator at this URL as a shard worker")
+	traceCache := flag.String("trace-cache", "", "with -worker: fetch a trace campaign's corpus from the coordinator into this content-addressed cache directory (default <user cache dir>/symbiosched/traces)")
 	progressFlag := flag.Bool("progress", false, "print live task throughput and worker utilization to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
@@ -80,7 +82,7 @@ func main() {
 	}
 
 	if *workerFlag != "" {
-		if err := runWorker(*workerFlag, *workers); err != nil {
+		if err := runWorker(*workerFlag, *workers, *traceCache); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -313,12 +315,21 @@ func poolOrNil(pool []workload.Profile, dflt []workload.Profile) []workload.Prof
 
 // runWorker serves a coordinator until its campaign completes: lease a
 // shard, simulate it, submit the result, repeat — with jittered
-// exponential backoff between failed or empty polls. Ctrl-C abandons the
-// current lease cleanly (the coordinator re-dispatches it on expiry).
-func runWorker(url string, simWorkers int) error {
+// exponential backoff between failed or empty polls. Trace campaigns fetch
+// their corpus from the coordinator into a content-addressed local cache
+// (resumable, fingerprint-verified), so workers need no shared filesystem.
+// Ctrl-C abandons the current lease cleanly (the coordinator re-dispatches
+// it on expiry).
+func runWorker(url string, simWorkers int, traceCache string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	w := coordctl.NewWorker(url, simWorkers)
+	if traceCache == "" {
+		if base, err := os.UserCacheDir(); err == nil {
+			traceCache = filepath.Join(base, "symbiosched", "traces")
+		}
+	}
+	w.TraceCache = traceCache
 	w.Logf = log.New(os.Stderr, "", log.Ltime).Printf
 	return w.Loop(ctx)
 }

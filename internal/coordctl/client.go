@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -128,6 +129,108 @@ func (c *Client) Status(ctx context.Context) (Status, error) {
 	return st, nil
 }
 
+// FetchTrace materialises one corpus trace into cacheDir, returning the
+// cached path. The cache is content-addressed — the file is named by
+// fingerprint, so campaigns sharing traces share downloads — and fetches are
+// resumable: an interrupted download parks a .partial file whose length
+// becomes the Range offset of the next attempt. Every fetched file is
+// verified against the ref (size, content fingerprint, and for compiled
+// traces a full content re-hash) before it is renamed into place; a cached
+// file that fails verification is discarded and re-fetched, not trusted.
+//
+// The cache may be shared by any number of concurrent workers: each fetch
+// downloads into its own unique temp file, claims the parked .partial by
+// atomic rename (exactly one claimant resumes it; the rest start fresh),
+// and completion renames over dest — concurrent fetches of one fingerprint
+// end with one verified file and no interleaved writes.
+func (c *Client) FetchTrace(ctx context.Context, ref experiments.TraceRef, cacheDir string) (string, error) {
+	dest := filepath.Join(cacheDir, ref.Fingerprint+filepath.Ext(ref.File))
+	if _, err := os.Stat(dest); err == nil {
+		if err := experiments.VerifyTraceFile(dest, ref); err == nil {
+			return dest, nil
+		}
+		os.Remove(dest) // cache corruption: re-fetch
+	}
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return "", fmt.Errorf("coordctl: trace cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(cacheDir, ref.Fingerprint+".fetch-*")
+	if err != nil {
+		return "", fmt.Errorf("coordctl: trace cache: %w", err)
+	}
+	mine := tmp.Name()
+	tmp.Close()
+	partial := dest + ".partial"
+	var offset int64
+	if os.Rename(partial, mine) == nil {
+		// Claimed the parked partial download; resume from its length.
+		if st, err := os.Stat(mine); err == nil && st.Size() < ref.Size {
+			offset = st.Size()
+		}
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/trace/"+ref.Fingerprint), nil)
+	if err != nil {
+		os.Remove(mine)
+		return "", err
+	}
+	if offset > 0 {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", offset))
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		os.Rename(mine, partial) // park whatever was claimed for the next try
+		return "", err
+	}
+	defer resp.Body.Close()
+	switch {
+	case offset > 0 && resp.StatusCode == http.StatusPartialContent:
+		// Resuming: append to the claimed bytes from where they stopped.
+	case resp.StatusCode == http.StatusOK:
+		offset = 0 // full body (or the server ignored the range): restart
+	default:
+		os.Rename(mine, partial)
+		return "", fmt.Errorf("coordctl: fetching trace %s: %s", ref.Fingerprint, readError(resp))
+	}
+
+	flags := os.O_WRONLY | os.O_TRUNC
+	if offset > 0 {
+		flags = os.O_WRONLY | os.O_APPEND
+	}
+	f, err := os.OpenFile(mine, flags, 0o644)
+	if err != nil {
+		os.Remove(mine)
+		return "", fmt.Errorf("coordctl: trace cache: %w", err)
+	}
+	_, copyErr := io.Copy(f, resp.Body)
+	closeErr := f.Close()
+	if copyErr != nil {
+		// Park the partial: whatever arrived resumes the next attempt.
+		os.Rename(mine, partial)
+		return "", fmt.Errorf("coordctl: fetching trace %s: %w", ref.Fingerprint, copyErr)
+	}
+	if closeErr != nil {
+		os.Remove(mine)
+		return "", fmt.Errorf("coordctl: trace cache: %w", closeErr)
+	}
+	if err := experiments.VerifyTraceFile(mine, ref); err != nil {
+		os.Remove(mine) // wrong bytes resume into wrong bytes: start over
+		return "", fmt.Errorf("coordctl: fetched trace failed verification: %w", err)
+	}
+	if err := os.Rename(mine, dest); err != nil {
+		// On platforms where rename cannot replace an existing file, a
+		// concurrent fetch winning the race is still a success: the cache
+		// holds the verified content either way.
+		if experiments.VerifyTraceFile(dest, ref) == nil {
+			os.Remove(mine)
+			return dest, nil
+		}
+		os.Remove(mine)
+		return "", fmt.Errorf("coordctl: trace cache: %w", err)
+	}
+	return dest, nil
+}
+
 func readError(resp *http.Response) string {
 	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
 	msg := strings.TrimSpace(string(b))
@@ -145,6 +248,13 @@ type Worker struct {
 	Workers int
 	// Backoff paces lease polls and transport retries.
 	Backoff Backoff
+	// TraceCache, when set, is where this worker materialises a trace
+	// campaign's corpus: every campaign trace is fetched from the
+	// coordinator's /trace endpoint (content-addressed, verified, resumable)
+	// and the pool is rebuilt from the cache. When empty, a trace campaign
+	// falls back to reading Campaign.TraceDir directly — the shared-
+	// filesystem deployment.
+	TraceCache string
 	// Run executes one shard (test hook; nil runs the real SweepShard).
 	Run func(cfg experiments.Config, spec experiments.SweepSpec) (experiments.Shard, error)
 	// MaxFailures caps consecutive transport failures before the worker
@@ -155,7 +265,8 @@ type Worker struct {
 	// Logf, when set, receives one line per worker event.
 	Logf func(format string, args ...any)
 
-	failures int // consecutive transport failures, reset on any contact
+	failures        int // consecutive transport failures, reset on any contact
+	resolveFailures int // consecutive spec-resolution failures, reset on success
 }
 
 // NewWorker returns a worker for the coordinator at url, named after the
@@ -237,6 +348,34 @@ func (w *Worker) Loop(ctx context.Context) error {
 	}
 }
 
+// resolveSpec builds the campaign's sweep spec on this worker. Trace
+// campaigns resolve through the corpus cache when one is configured: every
+// manifest ref is fetched (or found already cached) and verified, then the
+// pool is rebuilt from the cached files in manifest order. Without a cache,
+// the campaign's TraceDir path is read directly, which requires a shared
+// filesystem with the coordinator.
+func (w *Worker) resolveSpec(ctx context.Context, campaign Campaign) (experiments.SweepSpec, error) {
+	if len(campaign.Traces) == 0 || w.TraceCache == "" {
+		return campaign.Spec()
+	}
+	paths := make(map[string]string, len(campaign.Traces))
+	for _, ref := range campaign.Traces {
+		path, err := w.Client.FetchTrace(ctx, ref, w.TraceCache)
+		if err != nil {
+			return experiments.SweepSpec{}, err
+		}
+		w.logf("worker %s: trace %s (%s) cached at %s", w.Client.Worker, ref.Name, ref.Fingerprint, path)
+		paths[ref.Fingerprint] = path
+	}
+	files, err := experiments.TraceFilesFor(campaign.Traces, func(ref experiments.TraceRef) string {
+		return paths[ref.Fingerprint]
+	})
+	if err != nil {
+		return experiments.SweepSpec{}, err
+	}
+	return campaign.SpecFromFiles(files)
+}
+
 // runUnit executes one leased shard and submits it, retrying the submit on
 // transport errors up to the consecutive-failure budget (the lease expiring
 // behind our back is fine — the coordinator keeps the first valid result).
@@ -249,9 +388,33 @@ func (w *Worker) runUnit(ctx context.Context, wu *WorkUnit) (done bool, err erro
 	if got := cfg.CampaignHash(); got != wu.Campaign.ConfigHash {
 		return false, fmt.Errorf("coordctl: this build computes config hash %s, campaign wants %s — version skew, not retryable", got, wu.Campaign.ConfigHash)
 	}
-	spec, err := wu.Campaign.Spec()
+	spec, err := w.resolveSpec(ctx, wu.Campaign)
 	if err != nil {
-		return false, fmt.Errorf("coordctl: cannot resolve campaign: %w", err)
+		// Trace fetches fail transiently (coordinator restarting, a torn
+		// connection, a concurrent fetch racing the cache): abandon the
+		// lease, back off, and try again on the next round. A corpus that
+		// can never resolve still terminates the worker through the
+		// consecutive-failure budget.
+		w.resolveFailures++
+		limit := w.MaxFailures
+		if limit <= 0 {
+			limit = 10
+		}
+		if w.resolveFailures >= limit {
+			return false, fmt.Errorf("coordctl: cannot resolve campaign after %d consecutive attempts: %w", w.resolveFailures, err)
+		}
+		d := w.Backoff.Next()
+		w.logf("worker %s: cannot resolve campaign (%v), abandoning lease and retrying in %v", w.Client.Worker, err, d)
+		if !sleep(ctx, d) {
+			return false, ctx.Err()
+		}
+		return false, nil
+	}
+	w.resolveFailures = 0
+	if got := experiments.PoolHashProfiles(spec.Pool); got != wu.Campaign.PoolHash {
+		// The same check the coordinator applies at submit, pulled forward:
+		// wrong trace content fails in milliseconds, not after a full shard.
+		return false, fmt.Errorf("coordctl: this worker resolves pool hash %s, campaign wants %s — trace content skew, not retryable", got, wu.Campaign.PoolHash)
 	}
 	w.logf("worker %s: running shard %d/%d of %s (lease %s, attempt %d)",
 		w.Client.Worker, wu.ShardIndex, wu.Campaign.ShardTotal, wu.Campaign.Figure, wu.LeaseID, wu.Attempt)

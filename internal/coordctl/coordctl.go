@@ -46,14 +46,22 @@ import (
 // worker (the pool hash covers each file's content fingerprint, so a worker
 // with stale captures is rejected at submit, not merged).
 type Campaign struct {
-	Figure     string   `json:"figure"`
-	Quick      bool     `json:"quick"`
-	Seed       uint64   `json:"seed,omitempty"`
-	Pool       []string `json:"pool,omitempty"`
-	TraceDir   string   `json:"trace_dir,omitempty"`
-	ShardTotal int      `json:"shard_total"`
-	PoolHash   string   `json:"pool_hash"`
-	ConfigHash string   `json:"config_hash"`
+	Figure   string   `json:"figure"`
+	Quick    bool     `json:"quick"`
+	Seed     uint64   `json:"seed,omitempty"`
+	Pool     []string `json:"pool,omitempty"`
+	TraceDir string   `json:"trace_dir,omitempty"`
+	// Traces is the content-addressed corpus manifest of a trace campaign:
+	// one ref per pool trace, in pool order. A worker without the
+	// coordinator's trace directory fetches each ref from the coordinator's
+	// /trace/<fingerprint> endpoint into a local cache and rebuilds the
+	// exact pool from the manifest — the pool hash pins the content either
+	// way, so a fetch that resolves different bytes is rejected before any
+	// simulation runs.
+	Traces     []experiments.TraceRef `json:"traces,omitempty"`
+	ShardTotal int                    `json:"shard_total"`
+	PoolHash   string                 `json:"pool_hash"`
+	ConfigHash string                 `json:"config_hash"`
 }
 
 // NewCampaign resolves the figure and pool, computes the fingerprints and
@@ -65,6 +73,28 @@ func NewCampaign(figure string, quick bool, seed uint64, pool []string, traceDir
 		return Campaign{}, fmt.Errorf("coordctl: campaign needs at least 1 shard, got %d", shardTotal)
 	}
 	c := Campaign{Figure: figure, Quick: quick, Seed: seed, Pool: pool, TraceDir: traceDir, ShardTotal: shardTotal}
+	if traceDir != "" {
+		corpus, err := experiments.LoadCorpus(traceDir)
+		if err != nil {
+			return Campaign{}, err
+		}
+		c.Traces = corpus.Refs
+		if len(pool) > 0 {
+			// The manifest only names traces the campaign pool uses, so a
+			// fetching worker never downloads a restricted-out capture.
+			want := make(map[string]bool, len(pool))
+			for _, n := range pool {
+				want[n] = true
+			}
+			kept := c.Traces[:0:0]
+			for _, ref := range c.Traces {
+				if want[ref.Name] {
+					kept = append(kept, ref)
+				}
+			}
+			c.Traces = kept
+		}
+	}
 	spec, err := c.Spec()
 	if err != nil {
 		return Campaign{}, err
@@ -120,6 +150,30 @@ func (c Campaign) Spec() (experiments.SweepSpec, error) {
 		}
 		spec.Pool = pool
 	}
+	return spec, nil
+}
+
+// SpecFromFiles resolves the campaign's sweep spec with a trace pool built
+// from an explicit file list — a worker's fetched-and-verified corpus cache —
+// instead of the coordinator-side TraceDir path. The files must be the
+// campaign's Traces in manifest order (Client.FetchTrace + the corpus cache
+// produce exactly that); the resulting pool hashes identically to the
+// coordinator's or the worker refuses the unit before simulating anything.
+func (c Campaign) SpecFromFiles(files []experiments.TraceFile) (experiments.SweepSpec, error) {
+	spec, err := experiments.SweepSpecFor(c.Figure)
+	if err != nil {
+		return spec, err
+	}
+	pool, err := experiments.TracePoolFromFiles(files)
+	if err != nil {
+		return spec, err
+	}
+	if len(c.Pool) > 0 {
+		if pool, err = experiments.SelectProfiles(pool, c.Pool); err != nil {
+			return spec, err
+		}
+	}
+	spec.Pool = pool
 	return spec, nil
 }
 

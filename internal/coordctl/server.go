@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
@@ -27,11 +28,13 @@ type ServerOptions struct {
 }
 
 // Server is the campaign coordinator: the lease table, the streaming
-// merge, and the HTTP handler that exposes both.
+// merge, and the HTTP handler that exposes both — plus, for trace
+// campaigns, the content-addressed corpus the workers fetch from.
 type Server struct {
-	opts  ServerOptions
-	mux   *http.ServeMux
-	state *serverState
+	opts   ServerOptions
+	mux    *http.ServeMux
+	state  *serverState
+	corpus *experiments.Corpus
 }
 
 // serverState is everything the handlers mutate, behind one mutex.
@@ -87,12 +90,47 @@ func NewServer(opts ServerOptions) (*Server, error) {
 			done:     make(chan struct{}),
 		},
 	}
+	if opts.Campaign.TraceDir != "" {
+		corpus, err := experiments.LoadCorpus(opts.Campaign.TraceDir)
+		if err != nil {
+			return nil, err
+		}
+		s.corpus = corpus
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /lease", s.handleLease)
 	s.mux.HandleFunc("POST /submit", s.handleSubmit)
 	s.mux.HandleFunc("GET /status", s.handleStatus)
 	s.mux.HandleFunc("GET /report", s.handleReport)
+	s.mux.HandleFunc("GET /trace/{fingerprint}", s.handleTrace)
 	return s, nil
+}
+
+// handleTrace serves one corpus trace by content fingerprint. http.ServeContent
+// gives workers byte-range requests for free, which is what makes interrupted
+// multi-GB fetches resumable instead of restartable.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.corpus == nil {
+		http.Error(w, "this campaign serves no traces", http.StatusNotFound)
+		return
+	}
+	fp := r.PathValue("fingerprint")
+	ref, ok := s.corpus.Lookup(fp)
+	if !ok {
+		http.Error(w, "no trace with fingerprint "+fp, http.StatusNotFound)
+		return
+	}
+	f, err := os.Open(s.corpus.Path(ref))
+	if err != nil {
+		s.opts.Logf("coordinator: corpus trace %s vanished: %v", ref.File, err)
+		http.Error(w, "corpus trace unavailable", http.StatusInternalServerError)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	// The content address IS the version: a fingerprint never serves
+	// different bytes, so the modtime only needs to be stable, not real.
+	http.ServeContent(w, r, ref.File, time.Unix(0, 0), f)
 }
 
 // Handler returns the coordinator's HTTP handler.

@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"symbiosched/internal/trace"
+	"symbiosched/internal/workload"
+)
+
+// convertTraces rewrites some of dir's v1 captures into v2 compiled form —
+// raw for even indices, framed for odd — removing the originals, so the
+// directory exercises every container in one pool.
+func convertTraces(t *testing.T, dir string, names []string) {
+	t.Helper()
+	for i, name := range names {
+		v1 := filepath.Join(dir, name+".trc")
+		data, err := os.ReadFile(v1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := trace.Compile(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(filepath.Join(dir, name+trace.CompiledExt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			err = trace.WriteCompiled(f, ct)
+		} else {
+			err = trace.WriteCompiledFrames(f, ct, 1024, 0)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Remove(v1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// drainSource pulls a bounded prefix of a source's run stream for comparison.
+func drainSource(src workload.RefSource, steps int) []string {
+	rs := src.(workload.RunSource)
+	out := make([]string, 0, steps)
+	for i := 0; i < steps; i++ {
+		skip, addr, mem := rs.NextRun(1 << 16)
+		out = append(out, fmt.Sprintf("%d/%x/%v", skip, addr, mem))
+	}
+	return out
+}
+
+// TestTracePoolMixedFormats: a directory holding v1 captures alongside raw
+// and framed v2 conversions of other captures builds one pool, and a
+// converted trace replays exactly like its v1 original.
+func TestTracePoolMixedFormats(t *testing.T) {
+	dir := t.TempDir()
+	names := writeTraceDir(t, dir)
+
+	v1Pool, err := TracePoolFromDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Convert half the captures (one raw, one framed), keep the rest v1.
+	convertTraces(t, dir, names[:2])
+	pool, err := TracePoolFromDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) != len(names) {
+		t.Fatalf("mixed pool has %d profiles, want %d", len(pool), len(names))
+	}
+	for i, p := range pool {
+		if p.Name != names[i] {
+			t.Fatalf("profile %d is %q, want %q", i, p.Name, names[i])
+		}
+		if p.Instructions != v1Pool[i].Instructions {
+			t.Fatalf("%s: conversion changed instruction count %d -> %d",
+				p.Name, v1Pool[i].Instructions, p.Instructions)
+		}
+		// The replay streams must be bit-identical across containers.
+		want := drainSource(v1Pool[i].MakeSources(3, 0, 0)[0], 64)
+		got := drainSource(p.MakeSources(3, 0, 0)[0], 64)
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("%s: replay diverged at step %d: %s vs %s", p.Name, j, want[j], got[j])
+			}
+		}
+	}
+
+	// The streaming flavour agrees on the same mixed directory (framed v2
+	// goes through FrameStreamReplay, raw v2 through the shared mapping).
+	streaming, err := StreamingTracePoolFromDir(dir, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pool {
+		want := drainSource(pool[i].MakeSources(2, 0, 0)[0], 64)
+		got := drainSource(streaming[i].MakeSources(2, 0, 0)[0], 64)
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("%s: streaming replay diverged at step %d: %s vs %s",
+					pool[i].Name, j, want[j], got[j])
+			}
+		}
+	}
+}
+
+// TestListTraceDirSkipsJunk: non-trace files in a trace directory are skipped
+// with a warning, not a pool failure; name collisions across containers are.
+func TestListTraceDirSkipsJunk(t *testing.T) {
+	dir := t.TempDir()
+	names := writeTraceDir(t, dir)
+	for _, junk := range []string{"README.md", "mcf.trc.partial", "checksums.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, junk), []byte("not a trace"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An empty file (a torn download) is also junk, not an error.
+	if err := os.WriteFile(filepath.Join(dir, "empty.trc"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warnings []string
+	oldLogf := TraceLogf
+	TraceLogf = func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	defer func() { TraceLogf = oldLogf }()
+
+	files, err := ListTraceDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(names) {
+		t.Fatalf("listed %d traces, want %d", len(files), len(names))
+	}
+	for i, tf := range files {
+		if tf.Name != names[i] {
+			t.Fatalf("entry %d is %q, want %q", i, tf.Name, names[i])
+		}
+		if tf.Format != trace.FormatV1 {
+			t.Fatalf("%s classified as %v", tf.Name, tf.Format)
+		}
+	}
+	if len(warnings) != 4 {
+		t.Fatalf("%d warnings, want 4: %q", len(warnings), warnings)
+	}
+	for _, w := range warnings {
+		if !strings.Contains(w, "skipping") {
+			t.Fatalf("warning %q does not say skipping", w)
+		}
+	}
+
+	// Same base name in both containers collides on the profile name.
+	data, err := os.ReadFile(filepath.Join(dir, "mcf.trc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := trace.Compile(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, "mcf"+trace.CompiledExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCompiled(f, ct); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := ListTraceDir(dir); err == nil || !strings.Contains(err.Error(), "collide") {
+		t.Fatalf("colliding names not rejected: %v", err)
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	dir := t.TempDir()
+	names := writeTraceDir(t, dir)
+	convertTraces(t, dir, names[1:3])
+
+	c, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Refs) != len(names) {
+		t.Fatalf("corpus has %d refs, want %d", len(c.Refs), len(names))
+	}
+	pool, err := TracePoolFromDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ref := range c.Refs {
+		if ref.Name != names[i] {
+			t.Fatalf("ref %d is %q, want %q", i, ref.Name, names[i])
+		}
+		// The corpus address is the same fingerprint the pool profile carries:
+		// campaign pool hashes transitively pin trace content.
+		if ref.Fingerprint != pool[i].Fingerprint {
+			t.Fatalf("%s: corpus fingerprint %s, pool fingerprint %s",
+				ref.Name, ref.Fingerprint, pool[i].Fingerprint)
+		}
+		got, ok := c.Lookup(ref.Fingerprint)
+		if !ok || got != ref {
+			t.Fatalf("lookup %s: %+v, %v", ref.Fingerprint, got, ok)
+		}
+		st, err := os.Stat(c.Path(ref))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() != ref.Size {
+			t.Fatalf("%s: size %d, ref says %d", ref.Name, st.Size(), ref.Size)
+		}
+		if err := VerifyTraceFile(c.Path(ref), ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Lookup("doesnotexist"); ok {
+		t.Fatal("lookup of unknown fingerprint succeeded")
+	}
+
+	// TraceFilesFor rebuilds an identical pool from explicit paths.
+	files, err := TraceFilesFor(c.Refs, c.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool2, err := TracePoolFromFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PoolHashProfiles(pool2) != PoolHashProfiles(pool) {
+		t.Fatal("pool rebuilt from corpus refs hashes differently")
+	}
+
+	// A flipped byte fails verification: torn or tampered fetches never
+	// enter a worker's cache.
+	for _, ref := range []TraceRef{c.Refs[0], c.Refs[1]} { // one v1, one v2
+		path := c.Path(ref)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := filepath.Join(t.TempDir(), ref.File)
+		data[len(data)/2] ^= 0x40
+		if err := os.WriteFile(bad, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyTraceFile(bad, ref); err == nil {
+			t.Fatalf("%s: corrupted file verified cleanly", ref.File)
+		}
+		// Truncation is caught by the size check even when the hash of the
+		// prefix is never computed.
+		short := filepath.Join(t.TempDir(), ref.File)
+		if err := os.WriteFile(short, data[:len(data)-1], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyTraceFile(short, ref); err == nil {
+			t.Fatalf("%s: truncated file verified cleanly", ref.File)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -15,11 +16,11 @@ import (
 )
 
 // This file turns a directory of captured traces (cmd/tracegen, trace.Capture)
-// into a benchmark pool: one single-threaded Profile per *.trc file, driven by
-// run-length replay instead of synthetic generation. The pool plugs into every
-// sweep entry point — Figure-style sweeps, shards, coordinator campaigns —
-// because the profiles carry MakeSources and a content Fingerprint and
-// otherwise behave exactly like the synthetic pools.
+// into a benchmark pool: one single-threaded Profile per trace file, driven by
+// run-length replay instead of synthetic generation. Both trace containers are
+// accepted — *.trc v1 varint captures and *.symc v2 compiled traces (raw or
+// framed-compressed) — and the pool plugs into every sweep entry point:
+// Figure-style sweeps, shards, coordinator campaigns.
 //
 // Determinism caveats, which differ from synthetic pools:
 //   - The instruction stream IS the capture. Config.Seed and the Region scale
@@ -30,9 +31,18 @@ import (
 //   - Pool identity is filename + content hash: shard headers and campaign
 //     fingerprints include each trace's FNV-1a fingerprint, so two pools that
 //     reuse a file name cannot be merged or cache-aliased.
+//   - Pool ordering is by trace name (base file name without extension),
+//     never by filesystem iteration order, so the same directory produces the
+//     same pool hash on every host and filesystem.
 
-// traceExt is the trace file extension the pool builders look for.
+// traceExt is the v1 trace file extension the pool builders look for;
+// trace.CompiledExt (".symc") marks v2 compiled traces.
 const traceExt = ".trc"
+
+// TraceLogf receives warnings about files the pool builders skip (anything in
+// a trace directory that does not carry a trace magic). It defaults to the
+// standard logger; tests and tools replace it.
+var TraceLogf = func(format string, args ...any) { log.Printf(format, args...) }
 
 // traceAsidShift mirrors the workload package's address-space layout: process
 // asid owns addresses [asid<<40, (asid+1)<<40). Traces are captured in address
@@ -42,29 +52,72 @@ const traceAsidShift = 40
 
 func traceBase(asid int) uint64 { return uint64(asid-1) << traceAsidShift }
 
-// listTraces returns the sorted *.trc paths under dir.
-func listTraces(dir string) ([]string, error) {
+// TraceFile is one pool entry: a trace container on disk plus the profile
+// name it contributes.
+type TraceFile struct {
+	Name   string // profile name: base file name without extension
+	Path   string
+	Format trace.Format
+}
+
+// ListTraceDir enumerates the trace files in dir in stable (name-sorted)
+// order, classifying each by its magic rather than its extension. Files that
+// are not traces — editor droppings, checksum sidecars, partial downloads —
+// are skipped with a TraceLogf warning instead of failing the pool; an
+// unreadable file is still an error, as is a directory with no traces at all
+// or two traces that would collide on one profile name.
+func ListTraceDir(dir string) ([]TraceFile, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: trace dir: %w", err)
 	}
-	var paths []string
+	var files []TraceFile
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), traceExt) {
+		if e.IsDir() {
 			continue
 		}
-		paths = append(paths, filepath.Join(dir, e.Name()))
+		path := filepath.Join(dir, e.Name())
+		format, err := sniffFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", path, err)
+		}
+		if format == trace.FormatUnknown {
+			TraceLogf("experiments: skipping %s: not a trace file", path)
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), filepath.Ext(e.Name()))
+		files = append(files, TraceFile{Name: name, Path: path, Format: format})
 	}
-	if len(paths) == 0 {
-		return nil, fmt.Errorf("experiments: no %s files in %s", traceExt, dir)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("experiments: no trace files in %s", dir)
 	}
-	sort.Strings(paths)
-	return paths, nil
+	sort.Slice(files, func(i, j int) bool { return files[i].Name < files[j].Name })
+	for i := 1; i < len(files); i++ {
+		if files[i].Name == files[i-1].Name {
+			return nil, fmt.Errorf("experiments: traces %s and %s collide on profile name %q",
+				files[i-1].Path, files[i].Path, files[i].Name)
+		}
+	}
+	return files, nil
+}
+
+// sniffFile reads just enough of path to classify its container format.
+func sniffFile(path string) (trace.Format, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return trace.FormatUnknown, err
+	}
+	defer f.Close()
+	var prefix [8]byte
+	n, err := io.ReadFull(f, prefix[:])
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return trace.FormatUnknown, err
+	}
+	return trace.SniffFormat(prefix[:n]), nil
 }
 
 // traceProfile fills the Profile fields shared by both pool flavours.
-func traceProfile(path, fingerprint string, instr, memRefs uint64) workload.Profile {
-	name := strings.TrimSuffix(filepath.Base(path), traceExt)
+func traceProfile(name, fingerprint string, instr, memRefs uint64) workload.Profile {
 	var ratio float64
 	if instr > 0 {
 		ratio = float64(memRefs) / float64(instr)
@@ -78,30 +131,56 @@ func traceProfile(path, fingerprint string, instr, memRefs uint64) workload.Prof
 	}
 }
 
-// TracePoolFromDir builds a benchmark pool from every *.trc file in dir,
-// fully compiled into memory: each file is decoded once into a shared
-// run-length CompiledTrace (16 B per memory reference), and every process
-// instantiated from the profile replays it through an independent cursor.
+// TracePoolFromDir builds a benchmark pool from every trace file in dir,
+// fully resident: v1 captures are decoded once into a shared run-length
+// CompiledTrace (16 B per memory reference), v2 compiled traces are mapped
+// zero-decode (raw) or inflated once (framed), and every process instantiated
+// from the profile replays the shared records through an independent cursor.
 // This is the fast-sweep flavour — thousands of mix runs share one decode.
-// For traces too large to hold compiled, use StreamingTracePoolFromDir.
+// For traces too large to hold resident, use StreamingTracePoolFromDir.
 func TracePoolFromDir(dir string) ([]workload.Profile, error) {
-	paths, err := listTraces(dir)
+	files, err := ListTraceDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	pool := make([]workload.Profile, 0, len(paths))
-	for _, path := range paths {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %w", err)
+	return TracePoolFromFiles(files)
+}
+
+// TracePoolFromFiles is TracePoolFromDir over an explicit file list, in list
+// order. Corpus fetch paths use it to build a pool from cached downloads with
+// the campaign's own ordering.
+func TracePoolFromFiles(files []TraceFile) ([]workload.Profile, error) {
+	pool := make([]workload.Profile, 0, len(files))
+	for _, tf := range files {
+		var (
+			ct          *trace.CompiledTrace
+			fingerprint string
+		)
+		switch tf.Format {
+		case trace.FormatV1:
+			data, err := os.ReadFile(tf.Path)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %w", err)
+			}
+			h := fnv.New64a()
+			h.Write(data)
+			fingerprint = fmt.Sprintf("%016x", h.Sum64())
+			if ct, err = trace.Compile(bytes.NewReader(data)); err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", tf.Path, err)
+			}
+		case trace.FormatCompiled:
+			// The mapping (raw files on mmap hosts) lives as long as the pool:
+			// its pages are file-backed and shared across every replay cursor.
+			mt, err := trace.OpenCompiled(tf.Path)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", tf.Path, err)
+			}
+			ct = mt.Trace()
+			fingerprint = fmt.Sprintf("%016x", mt.Header().Fingerprint)
+		default:
+			return nil, fmt.Errorf("experiments: %s: unknown trace format", tf.Path)
 		}
-		h := fnv.New64a()
-		h.Write(data)
-		ct, err := trace.Compile(bytes.NewReader(data))
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", path, err)
-		}
-		p := traceProfile(path, fmt.Sprintf("%016x", h.Sum64()), ct.Instructions(), ct.MemRefs())
+		p := traceProfile(tf.Name, fingerprint, ct.Instructions(), ct.MemRefs())
 		p.MakeSources = func(asid int, _, _ uint64) []workload.RefSource {
 			return []workload.RefSource{trace.NewRunReplay(ct, true, traceBase(asid))}
 		}
@@ -110,49 +189,102 @@ func TracePoolFromDir(dir string) ([]workload.Profile, error) {
 	return pool, nil
 }
 
-// StreamingTracePoolFromDir builds the same pool as TracePoolFromDir but with
-// streaming replay: each file is scanned once up front (for the fingerprint
-// and instruction counts — O(1) memory), and every instantiated source decodes
-// the file on the fly through a bufRuns-run decode-ahead buffer (0 selects
-// trace.DefaultStreamRuns). Memory per live source is O(buffer) regardless of
-// trace size, which is what makes multi-GB captures sweepable.
+// StreamingTracePoolFromDir builds the same pool as TracePoolFromDir but
+// without holding decoded records on the heap: each file is scanned once up
+// front (for the fingerprint and instruction counts — O(1) memory for v1
+// captures, one 56-byte header read for v2), and every instantiated source
+// re-reads the file on the fly. v1 captures stream through a bufRuns-run
+// decode-ahead buffer (0 selects trace.DefaultStreamRuns); framed v2 traces
+// hold one inflated frame at a time; raw v2 traces are mmapped, so their
+// resident set is file-backed pages, not heap. Memory per live source is
+// O(buffer) regardless of trace size, which is what makes multi-GB captures
+// sweepable.
 //
-// Each source opens its own file handle; handles live as long as their
-// process set (the experiments arenas rewind sources in place via Rewind, so
-// a cached workload keeps its handles) and are reclaimed with the sources.
-// MakeSources panics if the file has disappeared since the scan — profile
-// instantiation has no error path, and a vanished trace is unrecoverable.
+// Each streaming source opens its own file handle; handles live as long as
+// their process set (the experiments arenas rewind sources in place via
+// Rewind, so a cached workload keeps its handles) and are reclaimed with the
+// sources. MakeSources panics if the file has disappeared since the scan —
+// profile instantiation has no error path, and a vanished trace is
+// unrecoverable.
 func StreamingTracePoolFromDir(dir string, bufRuns int) ([]workload.Profile, error) {
-	paths, err := listTraces(dir)
+	files, err := ListTraceDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	pool := make([]workload.Profile, 0, len(paths))
-	for _, path := range paths {
-		fingerprint, instr, memRefs, err := scanTrace(path)
-		if err != nil {
-			return nil, err
-		}
-		p := traceProfile(path, fingerprint, instr, memRefs)
-		path := path
-		p.MakeSources = func(asid int, _, _ uint64) []workload.RefSource {
-			f, err := os.Open(path)
+	return StreamingTracePoolFromFiles(files, bufRuns)
+}
+
+// StreamingTracePoolFromFiles is StreamingTracePoolFromDir over an explicit
+// file list, in list order.
+func StreamingTracePoolFromFiles(files []TraceFile, bufRuns int) ([]workload.Profile, error) {
+	pool := make([]workload.Profile, 0, len(files))
+	for _, tf := range files {
+		tf := tf
+		var p workload.Profile
+		switch tf.Format {
+		case trace.FormatV1:
+			fingerprint, instr, memRefs, err := scanTrace(tf.Path)
 			if err != nil {
-				panic(fmt.Sprintf("experiments: trace vanished after scan: %v", err))
+				return nil, err
 			}
-			sr, err := trace.NewStreamReplay(f, bufRuns, true, traceBase(asid))
+			p = traceProfile(tf.Name, fingerprint, instr, memRefs)
+			p.MakeSources = func(asid int, _, _ uint64) []workload.RefSource {
+				f, err := os.Open(tf.Path)
+				if err != nil {
+					panic(fmt.Sprintf("experiments: trace vanished after scan: %v", err))
+				}
+				sr, err := trace.NewStreamReplay(f, bufRuns, true, traceBase(asid))
+				if err != nil {
+					f.Close()
+					panic(fmt.Sprintf("experiments: %s: %v", tf.Path, err))
+				}
+				return []workload.RefSource{sr}
+			}
+		case trace.FormatCompiled:
+			hf, err := os.Open(tf.Path)
 			if err != nil {
-				f.Close()
-				panic(fmt.Sprintf("experiments: %s: %v", path, err))
+				return nil, fmt.Errorf("experiments: %w", err)
 			}
-			return []workload.RefSource{sr}
+			hdr, err := trace.ReadCompiledHeader(hf)
+			hf.Close()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", tf.Path, err)
+			}
+			p = traceProfile(tf.Name, fmt.Sprintf("%016x", hdr.Fingerprint), hdr.Instr, hdr.MemRefs)
+			if hdr.Framed {
+				p.MakeSources = func(asid int, _, _ uint64) []workload.RefSource {
+					f, err := os.Open(tf.Path)
+					if err != nil {
+						panic(fmt.Sprintf("experiments: trace vanished after scan: %v", err))
+					}
+					fs, err := trace.NewFrameStreamReplay(f, true, traceBase(asid))
+					if err != nil {
+						f.Close()
+						panic(fmt.Sprintf("experiments: %s: %v", tf.Path, err))
+					}
+					return []workload.RefSource{fs}
+				}
+			} else {
+				// Raw compiled: the mmap view is already as cheap as streaming
+				// gets — map once, share the records across all cursors.
+				mt, err := trace.OpenCompiled(tf.Path)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s: %w", tf.Path, err)
+				}
+				ct := mt.Trace()
+				p.MakeSources = func(asid int, _, _ uint64) []workload.RefSource {
+					return []workload.RefSource{trace.NewRunReplay(ct, true, traceBase(asid))}
+				}
+			}
+		default:
+			return nil, fmt.Errorf("experiments: %s: unknown trace format", tf.Path)
 		}
 		pool = append(pool, p)
 	}
 	return pool, nil
 }
 
-// scanTrace makes one sequential pass over a trace file, computing the
+// scanTrace makes one sequential pass over a v1 trace file, computing the
 // content fingerprint and the run-length statistics without retaining
 // anything: the decoder reads through a TeeReader that feeds the hash, so the
 // fingerprint is over the raw bytes — identical to TracePoolFromDir's.

@@ -27,7 +27,8 @@ type CompiledTrace struct {
 	Runs []Run
 	Tail uint64 // compute instructions after the last memory reference
 
-	instr uint64
+	instr      uint64
+	sampleRate uint32 // every-Nth-reference capture rate; 0 means full rate
 }
 
 // Instructions returns the total dynamic instruction count of the trace.
@@ -35,6 +36,29 @@ func (ct *CompiledTrace) Instructions() uint64 { return ct.instr }
 
 // MemRefs returns the number of memory references in the trace.
 func (ct *CompiledTrace) MemRefs() uint64 { return uint64(len(ct.Runs)) }
+
+// SampleRate returns the recorded capture rate: 1 for a full-rate trace, N
+// when only every Nth memory reference was kept (see Downsample). The rate
+// rides the v2 header so a corpus knows which traces are approximations.
+func (ct *CompiledTrace) SampleRate() uint32 {
+	if ct.sampleRate == 0 {
+		return 1
+	}
+	return ct.sampleRate
+}
+
+// NewCompiled builds a compiled trace directly from run-length form — the
+// path for synthetic fixtures (cmd/bench) and programmatic corpus
+// construction. The instruction count is derived from the runs, exactly as
+// Compile would have counted them. The runs slice is owned by the returned
+// trace and must not be mutated afterwards.
+func NewCompiled(runs []Run, tail uint64) *CompiledTrace {
+	ct := &CompiledTrace{Runs: runs, Tail: tail, instr: tail}
+	for i := range runs {
+		ct.instr += runs[i].Skip + 1
+	}
+	return ct
+}
 
 // Compile decodes a binary trace into run-length form.
 func Compile(r io.Reader) (*CompiledTrace, error) {

@@ -1,0 +1,100 @@
+package trace
+
+// The downsampler models every-Nth-reference capture hardware: only one in
+// N memory references is recorded; the dropped references still executed, so
+// they are folded back into the compute gaps and the instruction count (and
+// therefore replay timing targets) are preserved exactly. The rate is
+// recorded in the v2 header so a corpus knows which traces are sampled
+// approximations, and DownsampleCoverage quantifies how much of the
+// full-rate footprint signature a sampled trace still touches — the
+// validation bound EXPERIMENTS.md documents.
+
+import (
+	"fmt"
+
+	"symbiosched/internal/bitvec"
+)
+
+// Downsample returns a new compiled trace keeping every rate-th memory
+// reference (the first, then every rate-th after it). Dropped references
+// become compute instructions in the preceding gap: Instructions() is
+// unchanged, MemRefs() shrinks to ⌈refs/rate⌉, and the result's sample rate
+// is the input's times rate. rate 1 returns ct unchanged.
+func Downsample(ct *CompiledTrace, rate int) (*CompiledTrace, error) {
+	if rate < 1 {
+		return nil, fmt.Errorf("trace: downsample rate %d (want ≥ 1)", rate)
+	}
+	if rate == 1 {
+		return ct, nil
+	}
+	out := &CompiledTrace{
+		Runs:       make([]Run, 0, (len(ct.Runs)+rate-1)/rate),
+		Tail:       ct.Tail,
+		instr:      ct.instr,
+		sampleRate: ct.SampleRate() * uint32(rate),
+	}
+	var pending uint64
+	for i, r := range ct.Runs {
+		if i%rate == 0 {
+			out.Runs = append(out.Runs, Run{Skip: pending + r.Skip, Line: r.Line})
+			pending = 0
+			continue
+		}
+		pending += r.Skip + 1 // the dropped reference executes as a compute op
+	}
+	out.Tail += pending
+	return out, nil
+}
+
+// pageLines is the granularity of LineSet paging: one bitvec page covers
+// 2 MiB of address space in 4 KiB of memory, so the set's footprint scales
+// with the trace's touched address pages, not its distinct lines.
+const pageLines = 1 << 15
+
+// LineSet is a paged bit set over cache-line numbers — the footprint
+// signature a trace induces, at exact (non-hashed) granularity.
+type LineSet map[uint64]*bitvec.Vector
+
+// Add marks a line as touched.
+func (s LineSet) Add(line uint64) {
+	page := s[line/pageLines]
+	if page == nil {
+		page = bitvec.New(pageLines)
+		s[line/pageLines] = page
+	}
+	page.Set(int(line % pageLines))
+}
+
+// Count returns the number of distinct lines in the set.
+func (s LineSet) Count() uint64 {
+	var n uint64
+	for _, page := range s {
+		n += uint64(page.PopCount())
+	}
+	return n
+}
+
+// Lines collects the distinct-line footprint of a compiled trace.
+func (ct *CompiledTrace) Lines() LineSet {
+	s := LineSet{}
+	for i := range ct.Runs {
+		s.Add(ct.Runs[i].Line)
+	}
+	return s
+}
+
+// DownsampleCoverage compares a sampled trace's footprint signature against
+// its full-rate original: the fraction of the full trace's distinct lines
+// the sample still touches (1.0 = the signature is exact). A sampled trace
+// never touches lines the original did not, so coverage alone bounds the
+// signature error; the corpus methodology in EXPERIMENTS.md records the
+// acceptable floor per rate.
+func DownsampleCoverage(full, sampled *CompiledTrace) float64 {
+	fullLines := full.Lines()
+	total := fullLines.Count()
+	if total == 0 {
+		return 1
+	}
+	covered := sampled.Lines().Count()
+	return float64(covered) / float64(total)
+}

@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"symbiosched/internal/workload"
+)
+
+// FrameStreamReplay replays a framed-compressed v2 trace directly from its
+// seekable source as a workload.RunSource, holding one inflated frame of
+// records at a time: memory stays O(frameRuns) no matter how large the
+// corpus file is — the framed twin of StreamReplay, with the varint decoder
+// replaced by per-frame inflate into a reusable buffer.
+//
+// The emitted stream is bit-identical to NewRunReplay(ReadCompiled(src)):
+// same runs, same tail handling, same compute padding after a non-looping
+// exhaustion. Errors are sticky exactly like StreamReplay's: the stream
+// turns into compute no-ops, Err reports it, Rewind fails.
+type FrameStreamReplay struct {
+	src  io.ReadSeeker
+	hdr  CompiledHeader
+	loop bool
+	base uint64
+
+	offsets []int64 // frame start offsets in the file
+	lens    []int   // compressed frame byte lengths
+	cbuf    []byte  // reusable compressed-frame read buffer
+	runs    []Run   // current inflated frame, reused across frames
+	scratch []byte  // portable-decode staging (non-little-endian hosts)
+
+	frame   int // next frame to inflate
+	pos     int // next undelivered run in runs
+	pending uint64
+	haveMem bool
+	done    bool
+	err     error
+}
+
+// NewFrameStreamReplay opens a streaming replay over a framed-compressed v2
+// source. Header and frame index are validated eagerly; an unframed file is
+// rejected (use OpenCompiled — it is already zero-decode).
+func NewFrameStreamReplay(src io.ReadSeeker, loop bool, base uint64) (*FrameStreamReplay, error) {
+	if _, err := src.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("trace: seek: %w", err)
+	}
+	hdr, err := ReadCompiledHeader(src)
+	if err != nil {
+		return nil, err
+	}
+	if !hdr.Framed {
+		return nil, fmt.Errorf("trace: not a framed trace (mmap it with OpenCompiled instead)")
+	}
+	frames := int(hdr.FrameCount)
+	index := make([]byte, 4*frames)
+	if _, err := io.ReadFull(src, index); err != nil {
+		return nil, fmt.Errorf("trace: frame index truncated: %w", err)
+	}
+	fs := &FrameStreamReplay{
+		src:     src,
+		hdr:     hdr,
+		loop:    loop,
+		base:    base,
+		offsets: make([]int64, frames),
+		lens:    make([]int, frames),
+	}
+	off := int64(compiledHeaderSize) + int64(4*frames)
+	frameRuns := uint64(hdr.FrameRuns)
+	for i := 0; i < frames; i++ {
+		n := binary.LittleEndian.Uint32(index[4*i:])
+		if max := frameRuns*runSize + frameRuns/2 + 64; uint64(n) > max {
+			return nil, fmt.Errorf("trace: frame %d claims %d compressed bytes (cap %d)", i, n, max)
+		}
+		fs.offsets[i] = off
+		fs.lens[i] = int(n)
+		off += int64(n)
+	}
+	return fs, nil
+}
+
+// Err returns the sticky decode error, if any.
+func (fs *FrameStreamReplay) Err() error { return fs.err }
+
+// Header returns the source's v2 header.
+func (fs *FrameStreamReplay) Header() CompiledHeader { return fs.hdr }
+
+// frameBounds returns the record range [lo, hi) frame i covers.
+func (fs *FrameStreamReplay) frameBounds(i int) (lo, hi uint64) {
+	lo = uint64(i) * uint64(fs.hdr.FrameRuns)
+	hi = lo + uint64(fs.hdr.FrameRuns)
+	if hi > fs.hdr.MemRefs {
+		hi = fs.hdr.MemRefs
+	}
+	return lo, hi
+}
+
+// inflateNext loads frame fs.frame into the run buffer.
+func (fs *FrameStreamReplay) inflateNext() {
+	i := fs.frame
+	lo, hi := fs.frameBounds(i)
+	n := int(hi - lo)
+	if cap(fs.runs) < n {
+		fs.runs = make([]Run, n)
+	}
+	fs.runs = fs.runs[:n]
+	fs.pos = 0
+	if cap(fs.cbuf) < fs.lens[i] {
+		fs.cbuf = make([]byte, fs.lens[i])
+	}
+	fs.cbuf = fs.cbuf[:fs.lens[i]]
+	if _, err := fs.src.Seek(fs.offsets[i], io.SeekStart); err != nil {
+		fs.fail(fmt.Errorf("trace: seeking frame %d: %w", i, err))
+		return
+	}
+	if _, err := io.ReadFull(fs.src, fs.cbuf); err != nil {
+		fs.fail(fmt.Errorf("trace: frame %d truncated: %w", i, err))
+		return
+	}
+	if err := fs.inflateInto(fs.runs, fs.cbuf); err != nil {
+		fs.fail(fmt.Errorf("trace: frame %d: %w", i, err))
+		return
+	}
+	fs.frame++
+}
+
+// inflateInto is decompressFrame with reusable scratch for the portable path.
+func (fs *FrameStreamReplay) inflateInto(dst []Run, data []byte) error {
+	fr := flate.NewReader(bytes.NewReader(data))
+	defer fr.Close()
+	raw, ok := runsBytes(dst)
+	if !ok {
+		if cap(fs.scratch) < len(dst)*runSize {
+			fs.scratch = make([]byte, len(dst)*runSize)
+		}
+		raw = fs.scratch[:len(dst)*runSize]
+	}
+	if _, err := io.ReadFull(fr, raw); err != nil {
+		return fmt.Errorf("truncated frame: %w", err)
+	}
+	var extra [1]byte
+	if n, _ := fr.Read(extra[:]); n != 0 {
+		return fmt.Errorf("frame decompresses past its record count")
+	}
+	if !ok {
+		decodeRuns(dst, raw)
+	}
+	return nil
+}
+
+func (fs *FrameStreamReplay) fail(err error) {
+	if fs.err == nil {
+		fs.err = err
+	}
+	fs.done = true
+	fs.haveMem = false
+}
+
+// advance folds decoder state into (pending, haveMem), inflating frames and
+// wrapping around as needed.
+func (fs *FrameStreamReplay) advance() {
+	for !fs.haveMem && !fs.done {
+		if fs.pos < len(fs.runs) {
+			fs.pending += fs.runs[fs.pos].Skip
+			fs.haveMem = true
+			return
+		}
+		if fs.frame < len(fs.offsets) {
+			fs.inflateNext()
+			continue
+		}
+		// Every frame delivered: fold the tail, then wrap or finish.
+		fs.pending += fs.hdr.Tail
+		if !fs.loop || fs.hdr.MemRefs == 0 {
+			fs.done = true
+			return
+		}
+		fs.frame = 0
+		fs.runs = fs.runs[:0]
+		fs.pos = 0
+	}
+}
+
+// NextRun implements workload.RunSource with Generator.NextRun's exact
+// contract (see RunReplay.NextRun).
+func (fs *FrameStreamReplay) NextRun(limit int) (skipped int, addr uint64, mem bool) {
+	if limit <= 0 {
+		return 0, 0, false
+	}
+	fs.advance()
+	if fs.pending >= uint64(limit) {
+		fs.pending -= uint64(limit)
+		return limit, 0, false
+	}
+	if !fs.haveMem {
+		fs.pending = 0
+		return limit, 0, false
+	}
+	skipped = int(fs.pending)
+	fs.pending = 0
+	fs.haveMem = false
+	addr = fs.runs[fs.pos].Line<<6 + fs.base
+	fs.pos++
+	return skipped, addr, true
+}
+
+// Next implements workload.RefSource.
+func (fs *FrameStreamReplay) Next() workload.Ref {
+	_, addr, mem := fs.NextRun(1)
+	if mem {
+		return workload.Ref{Addr: addr, Mem: true}
+	}
+	return workload.Ref{}
+}
+
+// Rewind implements workload.Rewinder, reusing the frame buffers in place.
+// It reports false after a sticky failure, like StreamReplay.
+func (fs *FrameStreamReplay) Rewind() bool {
+	if fs.err != nil {
+		return false
+	}
+	fs.frame, fs.pos = 0, 0
+	fs.runs = fs.runs[:0]
+	fs.pending = 0
+	fs.haveMem, fs.done = false, false
+	return true
+}

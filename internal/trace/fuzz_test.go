@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"testing"
 
@@ -96,6 +97,102 @@ func FuzzTraceRoundTrip(f *testing.F) {
 			if again[i] != refs[i] {
 				t.Fatalf("round trip changed ref %d: %+v -> %+v", i, refs[i], again[i])
 			}
+		}
+
+		// v2 codecs: the compiled trace must survive both containers exactly,
+		// with the same content fingerprint on each side.
+		for _, framed := range []bool{false, true} {
+			var enc bytes.Buffer
+			var err error
+			if framed {
+				err = WriteCompiledFrames(&enc, ct, 64, 2)
+			} else {
+				err = WriteCompiled(&enc, ct)
+			}
+			if err != nil {
+				t.Fatalf("framed=%v encode: %v", framed, err)
+			}
+			got, err := ReadCompiled(bytes.NewReader(enc.Bytes()))
+			if err != nil {
+				t.Fatalf("framed=%v: rejected own encoding: %v", framed, err)
+			}
+			if got.Instructions() != ct.Instructions() || got.Tail != ct.Tail ||
+				len(got.Runs) != len(ct.Runs) || got.Fingerprint() != ct.Fingerprint() {
+				t.Fatalf("framed=%v: v2 round trip changed the trace", framed)
+			}
+			for i := range got.Runs {
+				if got.Runs[i] != ct.Runs[i] {
+					t.Fatalf("framed=%v: run %d changed: %+v -> %+v", framed, i, ct.Runs[i], got.Runs[i])
+				}
+			}
+		}
+	})
+}
+
+// FuzzCompiledDecode throws arbitrary bytes at the v2 decoders. Invariants:
+// never panic, never hang, never allocate unboundedly ahead of real bytes
+// (lying headers), and anything ReadCompiled accepts must re-encode to a
+// decodable trace with the same fingerprint. Seeds cover the documented
+// corruption classes: bad magic/version, header count mismatch, corrupt
+// frame index, truncated frame.
+func FuzzCompiledDecode(f *testing.F) {
+	seedTrace := &CompiledTrace{
+		Runs:  []Run{{Skip: 2, Line: 100}, {Skip: 0, Line: 101}, {Skip: 7, Line: 4}},
+		Tail:  5,
+		instr: 17,
+	}
+	var raw, framed bytes.Buffer
+	if err := WriteCompiled(&raw, seedTrace); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteCompiledFrames(&framed, seedTrace, 2, 1); err != nil {
+		f.Fatal(err)
+	}
+	mutated := func(src []byte, mutate func(b []byte)) []byte {
+		b := append([]byte(nil), src...)
+		mutate(b)
+		return b
+	}
+	f.Add([]byte{})
+	f.Add(magic2[:])
+	f.Add(raw.Bytes())
+	f.Add(framed.Bytes())
+	f.Add(mutated(raw.Bytes(), func(b []byte) { b[7] = 3 }))                   // bad version
+	f.Add(mutated(raw.Bytes(), func(b []byte) { b[0] = 'X' }))                 // bad magic
+	f.Add(mutated(raw.Bytes(), func(b []byte) { b[24]++ }))                    // header count mismatch
+	f.Add(mutated(framed.Bytes(), func(b []byte) { b[compiledHeaderSize]++ })) // corrupt frame index
+	f.Add(framed.Bytes()[:framed.Len()-3])                                     // truncated frame
+	f.Add(raw.Bytes()[:40])                                                    // truncated header
+	f.Add(mutated(raw.Bytes(), func(b []byte) {                                // astronomical record count
+		binary.LittleEndian.PutUint64(b[16:24], 1<<62)
+		binary.LittleEndian.PutUint64(b[24:32], 1<<61)
+	}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := ReadCompiledHeader(bytes.NewReader(data)); err != nil {
+			// A rejected header must also reject the full decode.
+			if _, err := ReadCompiled(bytes.NewReader(data)); err == nil {
+				t.Fatal("ReadCompiled accepted what ReadCompiledHeader rejects")
+			}
+			return
+		}
+		ct, err := ReadCompiled(bytes.NewReader(data))
+		if err != nil {
+			return // valid header, corrupt payload: rejected is correct
+		}
+		if uint64(len(ct.Runs)) > 1<<20 {
+			return // decodable but huge: skip the re-encode pass
+		}
+		var enc bytes.Buffer
+		if err := WriteCompiled(&enc, ct); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		again, err := ReadCompiled(bytes.NewReader(enc.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace rejected: %v", err)
+		}
+		if again.Fingerprint() != ct.Fingerprint() {
+			t.Fatal("re-encode changed the content fingerprint")
 		}
 	})
 }

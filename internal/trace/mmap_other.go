@@ -1,0 +1,18 @@
+//go:build !unix
+
+package trace
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("trace: mmap unsupported on this platform")
+
+// mmapFile is unavailable here; OpenCompiled falls back to the portable
+// read-into-buffer path, which is still a single bulk read for raw files.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errNoMmap
+}
+
+func munmapFile(data []byte) error { return nil }

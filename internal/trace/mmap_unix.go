@@ -1,0 +1,23 @@
+//go:build unix
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. MAP_SHARED lets every process
+// sweeping the same corpus share one resident copy through the page cache.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if size <= 0 {
+		// A zero-length mapping is invalid; the caller's fallback read path
+		// handles the degenerate empty payload.
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

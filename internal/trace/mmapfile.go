@@ -1,0 +1,120 @@
+package trace
+
+// Opening a compiled trace is an mmap plus a bounds-checked slice view: the
+// v2 record payload is exactly the in-memory layout of CompiledTrace.Runs,
+// so on little-endian hosts the mapped bytes ARE the run slice and replay
+// starts with zero per-run decode work. Re-running a sweep over a warm page
+// cache pays no I/O either — the kernel shares one resident copy across
+// every process and every re-run.
+//
+// Fallback order in OpenCompiled:
+//  1. uncompressed file + mmap support + matching host layout → mapped view
+//  2. anything else (framed compression, exotic hosts, mmap failure) →
+//     ReadCompiled into the heap, which is still decode-free for raw files
+//     (one bulk read) and a parallel inflate for framed ones.
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// MappedTrace is an opened compiled trace. When backed by an mmap the run
+// slice aliases the mapping — the MappedTrace must stay alive (and not
+// Closed) for as long as any replay cursor uses it. Heap-backed opens have
+// no such constraint; Close is then a no-op.
+type MappedTrace struct {
+	ct     CompiledTrace
+	hdr    CompiledHeader
+	mapped []byte // non-nil iff backed by an mmap region
+}
+
+// Trace returns the compiled-trace view. Replay cursors built on it
+// (NewRunReplay) never mutate it, so any number may share one MappedTrace.
+func (mt *MappedTrace) Trace() *CompiledTrace { return &mt.ct }
+
+// Header returns the on-disk header, including the recorded fingerprint and
+// sample rate.
+func (mt *MappedTrace) Header() CompiledHeader { return mt.hdr }
+
+// Mapped reports whether the open used the zero-decode mmap path.
+func (mt *MappedTrace) Mapped() bool { return mt.mapped != nil }
+
+// Close releases the mapping. The run view is invalid afterwards.
+func (mt *MappedTrace) Close() error {
+	if mt.mapped == nil {
+		return nil
+	}
+	data := mt.mapped
+	mt.mapped = nil
+	mt.ct.Runs = nil
+	return munmapFile(data)
+}
+
+// OpenCompiled opens a v2 compiled trace file, preferring the mmap
+// zero-decode path. The header is validated and the payload bounds-checked
+// against the file size; the content fingerprint is trusted, not recomputed
+// (use VerifyCompiled where provenance matters).
+func OpenCompiled(path string) (*MappedTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	hdr, err := ReadCompiledHeader(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if !hdr.Framed {
+		want := int64(compiledHeaderSize) + int64(hdr.MemRefs)*runSize
+		if st.Size() != want {
+			return nil, fmt.Errorf("trace: %s: %d bytes, header implies %d", path, st.Size(), want)
+		}
+		if mt, err := openMapped(f, hdr, st.Size()); err == nil {
+			return mt, nil
+		}
+		// mmap unavailable (platform, filesystem, layout): fall through to
+		// the portable read — same result, one copy in the heap.
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	ct, err := ReadCompiled(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return &MappedTrace{ct: *ct, hdr: hdr}, nil
+}
+
+// openMapped maps the whole file and builds the in-place run view.
+func openMapped(f *os.File, hdr CompiledHeader, size int64) (*MappedTrace, error) {
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("trace: file too large to map (%d bytes)", size)
+	}
+	data, err := mmapFile(f, int(size))
+	if err != nil {
+		return nil, err
+	}
+	mt := &MappedTrace{
+		ct: CompiledTrace{
+			Tail:       hdr.Tail,
+			instr:      hdr.Instr,
+			sampleRate: hdr.SampleRate,
+		},
+		hdr:    hdr,
+		mapped: data,
+	}
+	if hdr.MemRefs > 0 {
+		runs, ok := bytesRuns(data[compiledHeaderSize:], int(hdr.MemRefs))
+		if !ok {
+			_ = munmapFile(data)
+			return nil, fmt.Errorf("trace: host layout does not permit in-place record view")
+		}
+		mt.ct.Runs = runs
+	}
+	return mt, nil
+}

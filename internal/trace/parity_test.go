@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"symbiosched/internal/cache"
+	"symbiosched/internal/engine"
+	"symbiosched/internal/kernel"
+	"symbiosched/internal/workload"
+)
+
+// TestReplayParityFourWay is the replay parity pin the tracecheck gate relies
+// on: the same capture driven through every replay path — v1 varint stream,
+// compiled in-memory, mmap zero-decode, and framed-compressed (both the
+// in-memory decode and the frame-streaming replay) — must produce the exact
+// same simulation: identical user completion cycles and identical shared-L2
+// statistics, not merely close ones.
+func TestReplayParityFourWay(t *testing.T) {
+	prof, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const instr = 250_000
+
+	var v1 bytes.Buffer
+	if err := Capture(prof.NewThreads(1, 21, 64)[0], instr, &v1); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := Compile(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	v1Path := filepath.Join(dir, "t.trc")
+	rawPath := filepath.Join(dir, "t.symc")
+	framedPath := filepath.Join(dir, "t-framed.symc")
+	if err := os.WriteFile(v1Path, v1.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeFile := func(path string, write func(f *os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := write(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile(rawPath, func(f *os.File) error { return WriteCompiled(f, ct) })
+	writeFile(framedPath, func(f *os.File) error { return WriteCompiledFrames(f, ct, 4096, 0) })
+
+	run := func(name string, src workload.RefSource) (uint64, cache.Stats) {
+		t.Helper()
+		proc := kernel.SourceProcess(0, name, src, instr)
+		m := engine.New(engine.Config{
+			Hierarchy:     cache.CoreDuoConfig().Scaled(64),
+			QuantumCycles: 1_000_000,
+		}, []*kernel.Process{proc})
+		m.SetAffinities([]int{0})
+		m.Run(engine.RunOptions{})
+		return proc.CompletionUser(), m.Hierarchy().L2For(0).Stats()
+	}
+
+	const base = uint64(7) << 40
+
+	v1f, err := os.Open(v1Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1f.Close()
+	v1Replay, err := NewStreamReplay(v1f, DefaultStreamRuns, true, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCycles, wantStats := run("v1", v1Replay)
+	if v1Replay.Err() != nil {
+		t.Fatal(v1Replay.Err())
+	}
+
+	sources := map[string]workload.RefSource{}
+
+	rawBytes, err := os.ReadFile(rawPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadCompiled(bytes.NewReader(rawBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources["compiled"] = NewRunReplay(decoded, true, base)
+
+	mt, err := OpenCompiled(rawPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mt.Close()
+	sources["mmap"] = NewRunReplay(mt.Trace(), true, base)
+
+	framedBytes, err := os.ReadFile(framedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	framedCT, err := ReadCompiled(bytes.NewReader(framedBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources["compressed"] = NewRunReplay(framedCT, true, base)
+
+	ff, err := os.Open(framedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ff.Close()
+	fs, err := NewFrameStreamReplay(ff, true, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources["framestream"] = fs
+
+	for name, src := range sources {
+		cycles, stats := run(name, src)
+		if cycles != wantCycles {
+			t.Errorf("%s: %d user cycles, v1 replay took %d", name, cycles, wantCycles)
+		}
+		if stats != wantStats {
+			t.Errorf("%s: L2 stats %+v, v1 replay saw %+v", name, stats, wantStats)
+		}
+	}
+	if fs.Err() != nil {
+		t.Fatal(fs.Err())
+	}
+}
