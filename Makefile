@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci lint vet build test race shardcheck tracecheck sigcheck benchsmoke allocbench sigbench tracebench benchgate bench clean
+.PHONY: ci lint vet build test race shardcheck tracecheck sigcheck servicecheck benchsmoke allocbench sigbench tracebench servicebench benchgate bench clean
 
-ci: lint build race shardcheck tracecheck sigcheck benchsmoke allocbench sigbench tracebench
+ci: lint build race shardcheck tracecheck sigcheck servicecheck benchsmoke allocbench sigbench tracebench servicebench
 
 # Style gate: gofmt must be clean, vet must pass, and staticcheck runs when
 # the host has it (CI and dev boxes without it still get the first two).
@@ -69,6 +69,18 @@ sigcheck:
 	$(GO) test -count=1 -run 'TestMonitorSteadyStateAllocs|TestObserveScratchMatchesAllocate' ./internal/monitor
 	$(GO) test -count=1 -run 'TestEagerLazyCampaignParity' ./internal/experiments
 
+# The coordinator-as-a-service contract, uncached: journal recovery (a tail
+# torn at EVERY byte offset replays cleanly; mid-file damage is a typed
+# refusal, never a panic or a double-count), restart-resume (kill a daemon
+# mid-campaign, restart from the journal, finish to a byte-identical report
+# with no accepted shard re-leased), bearer-token auth on both planes, TLS
+# trust configuration, the multi-campaign REST API with cancellation
+# persisting across restarts, the worker's failure budget resetting on any
+# successful exchange, and the 50-worker load smoke reconciling client
+# counts, server counters, and journal records three ways.
+servicecheck:
+	$(GO) test -count=1 -run 'TestJournal|TestServiceRestartResume|TestCoordinatorAuth|TestCoordinatorTLS|TestCampaignAPI|TestCancelPersistsAcrossRestart|TestWorkerFailureBudgetResetsOnContact|TestCoordinatorLoadSmoke' ./internal/coordctl
+
 # One iteration of every benchmark: catches bit-rot in the bench suite (and
 # regenerates each figure once) without committing to real measurement time.
 benchsmoke:
@@ -94,6 +106,15 @@ sigbench:
 # none of the unit tests generated. Real measurements use -tracemb ≥ 128.
 tracebench:
 	$(GO) run ./cmd/bench -traceonly -tracereps 3 -tracemb 8
+
+# Coordinator service smoke: the 50-worker load harness as a bench, printing
+# lease throughput and round-trip latency percentiles. Every run reconciles
+# client accepts, server counters, and journal records before reporting, so
+# this doubles as a correctness gate; the latency numbers themselves are
+# recorded but never -check-gated (loopback HTTP + fsync jitter on shared
+# runners would make any useful tolerance flake).
+servicebench:
+	$(GO) run ./cmd/bench -coordonly
 
 # Perf regression gate: measure the Fig 10 sweep plus the allocator,
 # signature, and trace I/O latency sweeps and fail if any is >15% slower

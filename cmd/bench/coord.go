@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"symbiosched/internal/coordctl"
+)
+
+// Coordinator service benchmark: the load-smoke harness from
+// internal/coordctl drives one journaled daemon with a fleet of concurrent
+// fake workers over real HTTP and reports protocol throughput (lease
+// requests per second) and round-trip latency percentiles. Shards are
+// fabricated (header-valid, physics-free), so the measured path is the
+// coordinator itself — mutex, lease table, validation, journal fsync — not
+// simulation.
+//
+// These points are recorded for trend inspection but deliberately NOT gated
+// by -check: the numbers are dominated by loopback HTTP and fsync latency,
+// both of which vary wildly across CI hosts, so a tolerance tight enough to
+// matter would flake and one loose enough not to flake would not gate.
+
+// CoordPoint is one fleet-size measurement of the coordinator service.
+type CoordPoint struct {
+	Workers         int     `json:"workers"`
+	Shards          int     `json:"shards"`
+	DurationSec     float64 `json:"duration_sec"`
+	LeaseRequests   int     `json:"lease_requests"`
+	LeasesPerSec    float64 `json:"leases_per_sec"`
+	LeaseP50Micros  float64 `json:"lease_p50_micros"`
+	LeaseP99Micros  float64 `json:"lease_p99_micros"`
+	SubmitP50Micros float64 `json:"submit_p50_micros"`
+	SubmitP99Micros float64 `json:"submit_p99_micros"`
+	JournalBytes    int64   `json:"journal_bytes"`
+}
+
+// runCoordBench measures the coordinator daemon at the given fleet sizes
+// (each with `shards` shards) and prints one line per point.
+func runCoordBench(fleets []int, shards int) []CoordPoint {
+	var out []CoordPoint
+	for _, workers := range fleets {
+		res, err := coordctl.LoadSmoke(coordctl.LoadSmokeOptions{Workers: workers, Shards: shards})
+		if err != nil {
+			fatal(fmt.Errorf("coordinator bench (%d workers): %w", workers, err))
+		}
+		p := CoordPoint{
+			Workers:         res.Workers,
+			Shards:          res.Shards,
+			DurationSec:     res.DurationSec,
+			LeaseRequests:   res.LeaseRequests,
+			LeasesPerSec:    res.LeasesPerSec,
+			LeaseP50Micros:  res.LeaseP50Micros,
+			LeaseP99Micros:  res.LeaseP99Micros,
+			SubmitP50Micros: res.SubmitP50Micros,
+			SubmitP99Micros: res.SubmitP99Micros,
+			JournalBytes:    res.JournalBytes,
+		}
+		fmt.Fprintf(os.Stderr,
+			"coord: %3d workers, %d shards: %7.0f lease req/s, lease p50/p99 %5.0f/%6.0fµs, submit p50/p99 %5.0f/%6.0fµs, journal %d B\n",
+			p.Workers, p.Shards, p.LeasesPerSec, p.LeaseP50Micros, p.LeaseP99Micros,
+			p.SubmitP50Micros, p.SubmitP99Micros, p.JournalBytes)
+		out = append(out, p)
+	}
+	return out
+}

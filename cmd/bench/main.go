@@ -75,6 +75,9 @@ type Entry struct {
 	// Trace holds the trace I/O benchmark points when -trace was given;
 	// see cmd/bench/trace.go.
 	Trace []TracePoint `json:"trace,omitempty"`
+	// Coord holds the coordinator service benchmark points when -coord was
+	// given; see cmd/bench/coord.go. Recorded but never gated by -check.
+	Coord []CoordPoint `json:"coord,omitempty"`
 	// RepsMP1/MinSecondsMP1 record the same sweep pinned to GOMAXPROCS=1
 	// when -mp1 was given, so single-core and native-parallel numbers live
 	// in one entry (on a 1-vCPU host the two coincide; recording both keeps
@@ -103,6 +106,10 @@ func main() {
 	traceOnly := flag.Bool("traceonly", false, "run only the trace I/O benchmark, skipping the Figure 10 sweep")
 	traceReps := flag.Int("tracereps", 11, "trace benchmark open samples per format (p50/p99 are computed over these)")
 	traceMB := flag.Int("tracemb", 128, "trace benchmark fixture size in MiB of resident run records")
+	coordBench := flag.Bool("coord", false, "also run the coordinator service benchmark (concurrent fake-worker fleet over real HTTP against one journaled daemon)")
+	coordOnly := flag.Bool("coordonly", false, "run only the coordinator service benchmark, skipping the Figure 10 sweep")
+	coordWorkers := flag.Int("coordworkers", 50, "coordinator benchmark fleet size (concurrent fake workers)")
+	coordShards := flag.Int("coordshards", 64, "coordinator benchmark campaign shard count")
 	mp1 := flag.Bool("mp1", false, "after the native-GOMAXPROCS reps, repeat the sweep pinned to GOMAXPROCS=1 and record both in the entry")
 	flag.Parse()
 	if *allocOnly {
@@ -114,7 +121,10 @@ func main() {
 	if *traceOnly {
 		*traceBench = true
 	}
-	microOnly := *allocOnly || *sigOnly || *traceOnly
+	if *coordOnly {
+		*coordBench = true
+	}
+	microOnly := *allocOnly || *sigOnly || *traceOnly || *coordOnly
 
 	cfg := experiments.Quick()
 	pool := pool()
@@ -205,6 +215,9 @@ func main() {
 	if *traceBench {
 		e.Trace = runTraceBench(*traceReps, *traceMB)
 	}
+	if *coordBench {
+		e.Coord = runCoordBench([]int{*coordWorkers}, *coordShards)
+	}
 
 	if *check != "" {
 		checkRegression(*check, e, *tolerance, !microOnly)
@@ -232,8 +245,8 @@ func main() {
 		fatal(err)
 	}
 	if microOnly {
-		fmt.Printf("%s: %s %d allocator points, %d signature points, %d trace points\n",
-			path, e.Label, len(e.Alloc), len(e.Sig), len(e.Trace))
+		fmt.Printf("%s: %s %d allocator points, %d signature points, %d trace points, %d coordinator points\n",
+			path, e.Label, len(e.Alloc), len(e.Sig), len(e.Trace), len(e.Coord))
 		return
 	}
 	fmt.Printf("%s: %s min %.3fs over %d reps\n", path, e.Label, e.MinSeconds, *reps)

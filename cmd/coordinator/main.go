@@ -1,23 +1,38 @@
-// Command coordinator runs a distributed sweep campaign: it serves shard
-// work units over HTTP to `symbiosched -worker` processes, re-dispatches
-// stragglers when leases expire, folds accepted shards into a streaming
-// partial merge (live at /status), and exits writing the final report —
-// byte-identical to a single-process `symbiosched <fig>` run.
+// Command coordinator runs the campaign coordinator in one of three modes.
 //
-// Usage:
+// One-shot (default, the original interface): submit a single campaign,
+// serve it to `symbiosched -worker` processes, print the merged report and
+// exit — byte-identical to a single-process `symbiosched <fig>` run. With
+// -state-dir the campaign is journaled: killing the coordinator mid-sweep
+// and rerunning the same command line resumes from the journal without
+// recomputing any accepted shard.
 //
-//	coordinator -figure fig10 -shards 8 -addr :8377 &
+//	coordinator -figure fig10 -shards 8 -state-dir /var/lib/coord &
 //	symbiosched -worker http://host:8377       # on each worker machine
 //
-// The coordinator exits 0 with the report on stdout once every shard is
-// merged, and 1 when a shard exhausts its dispatch attempts.
+// Daemon (-serve): a persistent multi-campaign service. Campaigns are
+// submitted, listed and cancelled over the REST API (or with the admin verbs
+// below); the daemon journals everything under -state-dir and resumes its
+// campaigns on restart. Bearer tokens (-worker-token/-admin-token) and TLS
+// (-tls-cert/-tls-key) guard non-trusted networks; /metrics serves
+// Prometheus text.
+//
+//	coordinator -serve -state-dir /var/lib/coord -worker-token W -admin-token A
+//
+// Admin client (-connect): drive a running daemon.
+//
+//	coordinator -connect http://host:8377 -token A -figure fig11 -shards 16   # submit
+//	coordinator -connect http://host:8377 -token A -list
+//	coordinator -connect http://host:8377 -token A -cancel c3
+//	coordinator -connect http://host:8377 -token A -watch c2 [-out report.json]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -30,6 +45,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8377", "listen address")
+	serve := flag.Bool("serve", false, "run as a persistent multi-campaign daemon (no campaign submitted at startup; use POST /campaigns or -connect)")
+	stateDir := flag.String("state-dir", "", "journal accepted campaigns and shards here; a restarted coordinator resumes from it")
 	figure := flag.String("figure", "fig10", "sweep to run: fig10, fig11 or fig12")
 	shards := flag.Int("shards", 4, "number of shards to cut the campaign into")
 	quick := flag.Bool("quick", false, "run at test scale")
@@ -42,10 +59,79 @@ func main() {
 	linger := flag.Duration("linger", 6*time.Second, "keep serving after completion so polling workers observe it and exit (0 disables)")
 	out := flag.String("out", "", "write the final report as JSON to this path")
 	csv := flag.Bool("csv", false, "emit the final table as CSV")
+	workerToken := flag.String("worker-token", "", "bearer token required on worker endpoints (lease/submit/status/trace/metrics)")
+	adminToken := flag.String("admin-token", "", "bearer token required to submit or cancel campaigns")
+	tlsCert := flag.String("tls-cert", "", "serve TLS with this certificate (requires -tls-key)")
+	tlsKey := flag.String("tls-key", "", "TLS private key for -tls-cert")
+	connect := flag.String("connect", "", "act as an admin client against the daemon at this URL instead of serving")
+	token := flag.String("token", "", "bearer token for -connect requests")
+	tlsCA := flag.String("tls-ca", "", "PEM file of root CAs to trust for -connect over https (e.g. the daemon's self-signed cert)")
+	list := flag.Bool("list", false, "with -connect: list the daemon's campaigns")
+	cancel := flag.String("cancel", "", "with -connect: cancel this campaign id")
+	watch := flag.String("watch", "", "with -connect: wait for this campaign and print its report")
 	flag.Parse()
 
-	logf := log.New(os.Stderr, "", log.Ltime).Printf
+	if (*tlsCert != "") != (*tlsKey != "") {
+		fatal(fmt.Errorf("-tls-cert and -tls-key must be set together"))
+	}
 
+	if *connect != "" {
+		runAdmin(adminArgs{
+			url: *connect, token: *token, tlsCA: *tlsCA,
+			list: *list, cancel: *cancel, watch: *watch,
+			figure: *figure, quick: *quick, seed: *seed,
+			pool: *poolFlag, traceDir: *traceDir, shards: *shards,
+			statusEvery: *statusEvery, out: *out, csv: *csv,
+		})
+		return
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv, err := coordctl.NewServer(coordctl.ServerOptions{
+		StateDir:     *stateDir,
+		LeaseTimeout: *leaseTimeout,
+		MaxAttempts:  *maxAttempts,
+		WorkerToken:  *workerToken,
+		AdminToken:   *adminToken,
+		Logger:       logger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		var err error
+		if *tlsCert != "" {
+			err = httpSrv.ServeTLS(ln, *tlsCert, *tlsKey)
+		} else {
+			err = httpSrv.Serve(ln)
+		}
+		if err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}()
+	scheme := "http"
+	if *tlsCert != "" {
+		scheme = "https"
+	}
+	logger.Info("coordinator listening", "url", fmt.Sprintf("%s://%s", scheme, ln.Addr()),
+		"state_dir", *stateDir, "tls", *tlsCert != "",
+		"worker_auth", *workerToken != "", "admin_auth", *adminToken != "")
+
+	if *serve {
+		// Daemon mode: campaigns come and go over the API; we serve forever.
+		logger.Info("daemon mode: submit campaigns with POST /campaigns or `coordinator -connect`")
+		select {}
+	}
+
+	// One-shot compatibility shim: submit (or, restarting with a journal,
+	// adopt) a single campaign and exit with its report.
 	var pool []string
 	if *poolFlag != "" {
 		for _, n := range strings.Split(*poolFlag, ",") {
@@ -64,37 +150,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := coordctl.NewServer(coordctl.ServerOptions{
-		Campaign:     campaign,
-		LeaseTimeout: *leaseTimeout,
-		MaxAttempts:  *maxAttempts,
-		Logf:         logf,
-	})
+	id, adopted, err := srv.AdoptOrSubmit(campaign)
 	if err != nil {
 		fatal(err)
 	}
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fatal(err)
-	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
-	go func() {
-		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			fatal(err)
-		}
-	}()
 	combos, _ := campaign.Combos()
-	logf("coordinator: serving %s (%d combos in %d shards, pool hash %s) on http://%s",
-		campaign.Figure, combos, campaign.ShardTotal, campaign.PoolHash, ln.Addr())
+	if adopted {
+		st, _ := srv.Status(id)
+		logger.Info("campaign resumed from journal", "campaign", id,
+			"figure", campaign.Figure, "combos_merged", st.CombosCovered, "combos", combos)
+	}
+	logger.Info("serving campaign", "campaign", id, "figure", campaign.Figure,
+		"combos", combos, "shards", campaign.ShardTotal, "pool_hash", campaign.PoolHash)
 	if n := len(campaign.Traces); n > 0 {
 		var total int64
 		for _, ref := range campaign.Traces {
 			total += ref.Size
 		}
-		logf("coordinator: corpus of %d traces (%.1f MiB) served at /trace/<fingerprint>", n, float64(total)/(1<<20))
+		logger.Info("serving trace corpus", "traces", n, "mib", float64(total)/(1<<20))
 	}
-	logf("coordinator: start workers with: symbiosched -worker http://<this-host>%s", *addr)
+	logger.Info("start workers", "cmd", fmt.Sprintf("symbiosched -worker %s://<this-host>%s", scheme, *addr))
 
 	if *statusEvery > 0 {
 		go func() {
@@ -102,39 +177,45 @@ func main() {
 			defer t.Stop()
 			for {
 				select {
-				case <-srv.Done():
+				case <-srv.Done(id):
 					return
 				case <-t.C:
-					st := srv.StatusSnapshot()
+					st, err := srv.Status(id)
+					if err != nil {
+						return
+					}
 					counts := map[string]int{}
 					for _, sh := range st.Shards {
 						counts[sh.State]++
 					}
-					logf("coordinator: %d/%d combos merged; shards: %d done, %d leased, %d pending, %d failed",
-						st.CombosCovered, st.TotalCombos, counts["done"], counts["leased"], counts["pending"], counts["failed"])
+					logger.Info("progress", "campaign", id,
+						"combos_merged", st.CombosCovered, "combos", st.TotalCombos,
+						"done", counts["done"], "leased", counts["leased"],
+						"pending", counts["pending"], "failed", counts["failed"])
 				}
 			}
 		}()
 	}
 
-	<-srv.Done()
+	<-srv.Done(id)
 	// Keep answering for a moment: workers sleeping in their poll backoff
 	// (capped at 5s) learn the campaign is over from a 410 instead of
 	// finding a dead socket and burning their retry budget against it.
 	lingerDone := time.After(*linger)
 	finish := func(code int) {
 		if *linger > 0 {
-			logf("coordinator: lingering %v so workers observe completion (-linger 0 to skip)", *linger)
+			logger.Info("lingering so workers observe completion", "linger", *linger)
 		}
 		<-lingerDone
 		httpSrv.Close()
+		srv.Close()
 		os.Exit(code)
 	}
-	if err := srv.Err(); err != nil {
+	if err := srv.Err(id); err != nil {
 		fmt.Fprintln(os.Stderr, "coordinator:", err)
 		finish(1)
 	}
-	report, err := srv.Report()
+	report, err := srv.Report(id)
 	if err != nil {
 		fatal(err)
 	}
@@ -146,7 +227,7 @@ func main() {
 		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
 			fatal(err)
 		}
-		logf("coordinator: report written to %s", *out)
+		logger.Info("report written", "path", *out)
 	}
 	if *csv {
 		fmt.Print(report.Table().CSV())
@@ -154,6 +235,113 @@ func main() {
 		fmt.Println(report.Table().String())
 	}
 	finish(0)
+}
+
+// adminArgs is everything the -connect admin client needs.
+type adminArgs struct {
+	url, token, tlsCA string
+	list              bool
+	cancel, watch     string
+	figure            string
+	quick             bool
+	seed              uint64
+	pool, traceDir    string
+	shards            int
+	statusEvery       time.Duration
+	out               string
+	csv               bool
+}
+
+// runAdmin drives a running daemon: list, cancel, watch, or submit+watch.
+func runAdmin(a adminArgs) {
+	cl := coordctl.Client{BaseURL: a.url, Worker: "admin", Token: a.token}
+	if a.tlsCA != "" {
+		cfg, err := coordctl.TLSConfigFromCA(a.tlsCA)
+		if err != nil {
+			fatal(err)
+		}
+		cl.TLS = cfg
+	}
+	ctx := context.Background()
+	switch {
+	case a.list:
+		campaigns, err := cl.Campaigns(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-6s %-6s %-10s %10s %14s %10s\n", "ID", "FIGURE", "STATE", "SHARDS", "COMBOS", "ELAPSED")
+		for _, c := range campaigns {
+			fmt.Printf("%-6s %-6s %-10s %5d/%-4d %7d/%-6d %9.0fs\n",
+				c.ID, c.Figure, c.State, c.ShardsDone, c.ShardTotal, c.CombosCovered, c.TotalCombos, c.ElapsedSeconds)
+		}
+	case a.cancel != "":
+		if err := cl.CancelCampaign(ctx, a.cancel); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("campaign %s cancelled\n", a.cancel)
+	case a.watch != "":
+		watchCampaign(ctx, &cl, a, a.watch)
+	default:
+		var pool []string
+		if a.pool != "" {
+			for _, n := range strings.Split(a.pool, ",") {
+				pool = append(pool, strings.TrimSpace(n))
+			}
+		}
+		created, err := cl.SubmitCampaign(ctx, coordctl.CampaignRequest{
+			Figure: a.figure, Quick: a.quick, Seed: a.seed,
+			Pool: pool, TraceDir: a.traceDir, Shards: a.shards,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "coordinator: campaign %s submitted (%s, %d combos in %d shards)\n",
+			created.ID, created.Campaign.Figure, created.Combos, created.Campaign.ShardTotal)
+		watchCampaign(ctx, &cl, a, created.ID)
+	}
+}
+
+// watchCampaign polls a campaign to completion, then prints its report like
+// the one-shot mode does.
+func watchCampaign(ctx context.Context, cl *coordctl.Client, a adminArgs, id string) {
+	every := a.statusEvery
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	for {
+		st, err := cl.Status(ctx, id)
+		if err != nil {
+			fatal(err)
+		}
+		switch st.State {
+		case "running":
+			fmt.Fprintf(os.Stderr, "coordinator: %s %d/%d combos merged\n", id, st.CombosCovered, st.TotalCombos)
+			time.Sleep(every)
+			continue
+		case "done":
+		default:
+			fatal(fmt.Errorf("campaign %s %s: %s", id, st.State, st.Error))
+		}
+		break
+	}
+	report, err := cl.Report(ctx, id)
+	if err != nil {
+		fatal(err)
+	}
+	if a.out != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(a.out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if a.csv {
+		fmt.Print(report.Table().CSV())
+	} else {
+		fmt.Println(report.Table().String())
+	}
 }
 
 func fatal(err error) {

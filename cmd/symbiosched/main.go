@@ -71,6 +71,8 @@ func main() {
 	mergeFlag := flag.String("merge", "", "merge shard files matching this glob and print the report")
 	workerFlag := flag.String("worker", "", "serve a campaign coordinator at this URL as a shard worker")
 	traceCache := flag.String("trace-cache", "", "with -worker: fetch a trace campaign's corpus from the coordinator into this content-addressed cache directory (default <user cache dir>/symbiosched/traces)")
+	tokenFlag := flag.String("token", "", "with -worker: bearer token for a coordinator that requires worker auth")
+	tlsCAFlag := flag.String("tls-ca", "", "with -worker: PEM file of root CAs to trust for an https coordinator (e.g. its self-signed cert)")
 	progressFlag := flag.Bool("progress", false, "print live task throughput and worker utilization to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
@@ -82,7 +84,7 @@ func main() {
 	}
 
 	if *workerFlag != "" {
-		if err := runWorker(*workerFlag, *workers, *traceCache); err != nil {
+		if err := runWorker(*workerFlag, *workers, *traceCache, *tokenFlag, *tlsCAFlag); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -320,10 +322,18 @@ func poolOrNil(pool []workload.Profile, dflt []workload.Profile) []workload.Prof
 // (resumable, fingerprint-verified), so workers need no shared filesystem.
 // Ctrl-C abandons the current lease cleanly (the coordinator re-dispatches
 // it on expiry).
-func runWorker(url string, simWorkers int, traceCache string) error {
+func runWorker(url string, simWorkers int, traceCache, token, tlsCA string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	w := coordctl.NewWorker(url, simWorkers)
+	w.Client.Token = token
+	if tlsCA != "" {
+		cfg, err := coordctl.TLSConfigFromCA(tlsCA)
+		if err != nil {
+			return err
+		}
+		w.Client.TLS = cfg
+	}
 	if traceCache == "" {
 		if base, err := os.UserCacheDir(); err == nil {
 			traceCache = filepath.Join(base, "symbiosched", "traces")

@@ -3,6 +3,8 @@ package coordctl
 import (
 	"bytes"
 	"context"
+	"crypto/tls"
+	"crypto/x509"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,25 +26,74 @@ var ErrCampaignDone = errors.New("coordctl: campaign complete")
 // the shard (422) — retrying the identical shard cannot succeed.
 var ErrRejected = errors.New("coordctl: shard rejected")
 
+// ErrUnauthorized is returned when the coordinator refuses the client's
+// bearer token (401). Retrying with the same token cannot succeed, so the
+// worker loop treats it as fatal rather than a transport failure.
+var ErrUnauthorized = errors.New("coordctl: unauthorized (bad or missing bearer token)")
+
 // Client speaks the worker side of the coordinator protocol.
 type Client struct {
 	// BaseURL is the coordinator root, e.g. "http://host:8377".
 	BaseURL string
 	// Worker names this worker in leases and shard provenance.
 	Worker string
-	// HTTP is the transport (default: a client with a 30s timeout).
+	// Token, when set, is sent as a bearer token on every request. Use the
+	// worker token for lease/submit/status/trace, the admin token for
+	// campaign submission and cancellation.
+	Token string
+	// TLS, when set, configures the transport's TLS (e.g. a custom root CA
+	// from TLSConfigFromCA for a self-signed coordinator certificate).
+	// Ignored when HTTP is set — bring your own transport then.
+	TLS *tls.Config
+	// HTTP is the transport (default: a client with a 30s timeout and the
+	// TLS config above).
 	HTTP *http.Client
+
+	builtHTTP *http.Client // lazily built default transport
+}
+
+// TLSConfigFromCA returns a TLS config trusting (only) the PEM certificates
+// in the given file — how a worker pins a coordinator's self-signed cert.
+func TLSConfigFromCA(path string) (*tls.Config, error) {
+	pem, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("coordctl: TLS CA: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pem) {
+		return nil, fmt.Errorf("coordctl: TLS CA %s holds no usable PEM certificates", path)
+	}
+	return &tls.Config{RootCAs: pool}, nil
 }
 
 func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return &http.Client{Timeout: 30 * time.Second}
+	if c.builtHTTP == nil {
+		hc := &http.Client{Timeout: 30 * time.Second}
+		if c.TLS != nil {
+			hc.Transport = &http.Transport{TLSClientConfig: c.TLS}
+		}
+		c.builtHTTP = hc
+	}
+	return c.builtHTTP
 }
 
 func (c *Client) url(path string) string {
 	return strings.TrimSuffix(c.BaseURL, "/") + path
+}
+
+// newRequest builds a request with the client's auth header applied.
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), body)
+	if err != nil {
+		return nil, err
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	return req, nil
 }
 
 // Lease asks for work. It returns (nil, nil) when nothing is leasable
@@ -52,7 +103,7 @@ func (c *Client) Lease(ctx context.Context) (*WorkUnit, error) {
 	body, _ := json.Marshal(struct {
 		Worker string `json:"worker"`
 	}{c.Worker})
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/lease"), bytes.NewReader(body))
+	req, err := c.newRequest(ctx, http.MethodPost, "/lease", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -73,19 +124,27 @@ func (c *Client) Lease(ctx context.Context) (*WorkUnit, error) {
 		return nil, nil
 	case http.StatusGone:
 		return nil, ErrCampaignDone
+	case http.StatusUnauthorized:
+		return nil, ErrUnauthorized
 	default:
 		return nil, fmt.Errorf("coordctl: lease: %s", readError(resp))
 	}
 }
 
-// Submit posts a completed shard under the given lease.
-func (c *Client) Submit(ctx context.Context, leaseID string, sh experiments.Shard) (SubmitResult, error) {
+// Submit posts a completed shard under the work unit's lease. The campaign
+// id rides along as a query parameter — leases die with a coordinator
+// restart, campaign ids are journaled, so the id is what routes a submission
+// after a crash.
+func (c *Client) Submit(ctx context.Context, wu *WorkUnit, sh experiments.Shard) (SubmitResult, error) {
 	body, err := json.Marshal(sh)
 	if err != nil {
 		return SubmitResult{}, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.url("/submit?lease="+leaseID), bytes.NewReader(body))
+	path := "/submit?lease=" + wu.LeaseID
+	if wu.CampaignID != "" {
+		path += "&campaign=" + wu.CampaignID
+	}
+	req, err := c.newRequest(ctx, http.MethodPost, path, bytes.NewReader(body))
 	if err != nil {
 		return SubmitResult{}, err
 	}
@@ -95,6 +154,9 @@ func (c *Client) Submit(ctx context.Context, leaseID string, sh experiments.Shar
 		return SubmitResult{}, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusUnauthorized {
+		return SubmitResult{}, ErrUnauthorized
+	}
 	var res SubmitResult
 	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
 		return SubmitResult{}, fmt.Errorf("coordctl: bad submit response (HTTP %d): %w", resp.StatusCode, err)
@@ -111,22 +173,113 @@ func (c *Client) Submit(ctx context.Context, leaseID string, sh experiments.Shar
 	return res, nil
 }
 
-// Status fetches the coordinator's status document.
-func (c *Client) Status(ctx context.Context) (Status, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/status"), nil)
-	if err != nil {
+// Status fetches a campaign's status document. An empty id means the
+// coordinator's only campaign — the single-campaign compatibility path.
+func (c *Client) Status(ctx context.Context, id string) (Status, error) {
+	path := "/status"
+	if id != "" {
+		path = "/campaigns/" + id
+	}
+	var st Status
+	if err := c.getJSON(ctx, path, &st); err != nil {
 		return Status{}, err
+	}
+	return st, nil
+}
+
+// getJSON performs an authenticated GET expecting a 200 JSON body.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return Status{}, err
+		return err
 	}
 	defer resp.Body.Close()
-	var st Status
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return Status{}, fmt.Errorf("coordctl: bad status response: %w", err)
+	if resp.StatusCode == http.StatusUnauthorized {
+		return ErrUnauthorized
 	}
-	return st, nil
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("coordctl: GET %s: %s", path, readError(resp))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("coordctl: bad response for %s: %w", path, err)
+	}
+	return nil
+}
+
+// SubmitCampaign posts a campaign spec to the daemon (admin token).
+func (c *Client) SubmitCampaign(ctx context.Context, req CampaignRequest) (CampaignCreated, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return CampaignCreated{}, err
+	}
+	hr, err := c.newRequest(ctx, http.MethodPost, "/campaigns", bytes.NewReader(body))
+	if err != nil {
+		return CampaignCreated{}, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return CampaignCreated{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusUnauthorized {
+		return CampaignCreated{}, ErrUnauthorized
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return CampaignCreated{}, fmt.Errorf("coordctl: submit campaign: %s", readError(resp))
+	}
+	var created CampaignCreated
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		return CampaignCreated{}, fmt.Errorf("coordctl: bad campaign response: %w", err)
+	}
+	return created, nil
+}
+
+// Campaigns lists the daemon's campaigns with progress.
+func (c *Client) Campaigns(ctx context.Context) ([]CampaignSummary, error) {
+	var out []CampaignSummary
+	if err := c.getJSON(ctx, "/campaigns", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CancelCampaign cancels a running campaign (admin token).
+func (c *Client) CancelCampaign(ctx context.Context, id string) error {
+	req, err := c.newRequest(ctx, http.MethodDelete, "/campaigns/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusUnauthorized {
+		return ErrUnauthorized
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("coordctl: cancel %s: %s", id, readError(resp))
+	}
+	return nil
+}
+
+// Report fetches a campaign's final merged report; errors while shards are
+// outstanding (HTTP 409). An empty id means the only campaign.
+func (c *Client) Report(ctx context.Context, id string) (experiments.ImprovementReport, error) {
+	path := "/report"
+	if id != "" {
+		path = "/campaigns/" + id + "/report"
+	}
+	var rep experiments.ImprovementReport
+	if err := c.getJSON(ctx, path, &rep); err != nil {
+		return experiments.ImprovementReport{}, err
+	}
+	return rep, nil
 }
 
 // FetchTrace materialises one corpus trace into cacheDir, returning the
@@ -169,7 +322,7 @@ func (c *Client) FetchTrace(ctx context.Context, ref experiments.TraceRef, cache
 		}
 	}
 
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/trace/"+ref.Fingerprint), nil)
+	req, err := c.newRequest(ctx, http.MethodGet, "/trace/"+ref.Fingerprint, nil)
 	if err != nil {
 		os.Remove(mine)
 		return "", err
@@ -188,6 +341,9 @@ func (c *Client) FetchTrace(ctx context.Context, ref experiments.TraceRef, cache
 		// Resuming: append to the claimed bytes from where they stopped.
 	case resp.StatusCode == http.StatusOK:
 		offset = 0 // full body (or the server ignored the range): restart
+	case resp.StatusCode == http.StatusUnauthorized:
+		os.Rename(mine, partial)
+		return "", ErrUnauthorized
 	default:
 		os.Rename(mine, partial)
 		return "", fmt.Errorf("coordctl: fetching trace %s: %s", ref.Fingerprint, readError(resp))
@@ -299,6 +455,12 @@ func (w *Worker) fail() (spent bool) {
 	return w.failures >= limit
 }
 
+// contact records any successful exchange with the coordinator — a lease
+// grant, an empty poll, a submit acknowledgement — resetting the
+// consecutive-failure budget. A flaky network that drops every other
+// request must never accumulate to the give-up limit.
+func (w *Worker) contact() { w.failures = 0 }
+
 // Loop serves the campaign until the coordinator says it is over or the
 // context is cancelled. Transient failures (coordinator unreachable,
 // nothing leasable yet) retry on the jittered exponential backoff, up to
@@ -314,6 +476,10 @@ func (w *Worker) Loop(ctx context.Context) error {
 		case errors.Is(err, ErrCampaignDone):
 			w.logf("worker %s: campaign complete, exiting", w.Client.Worker)
 			return nil
+		case errors.Is(err, ErrUnauthorized):
+			// A wrong token fails identically forever — burning the whole
+			// transport-failure budget on it would just delay the inevitable.
+			return err
 		case ctx.Err() != nil:
 			return ctx.Err()
 		case err != nil:
@@ -327,7 +493,9 @@ func (w *Worker) Loop(ctx context.Context) error {
 			}
 			continue
 		case wu == nil:
-			w.failures = 0
+			// Any successful poll is proof of a live coordinator, so the
+			// consecutive-failure budget resets even without a lease grant.
+			w.contact()
 			d := w.Backoff.Next()
 			w.logf("worker %s: no shard leasable, polling again in %v", w.Client.Worker, d)
 			if !sleep(ctx, d) {
@@ -335,7 +503,7 @@ func (w *Worker) Loop(ctx context.Context) error {
 			}
 			continue
 		}
-		w.failures = 0
+		w.contact()
 		w.Backoff.Reset()
 		done, err := w.runUnit(ctx, wu)
 		if err != nil {
@@ -433,11 +601,13 @@ func (w *Worker) runUnit(ctx context.Context, wu *WorkUnit) (done bool, err erro
 	}
 	sh.Worker, sh.Attempt = w.Client.Worker, wu.Attempt
 	for {
-		res, err := w.Client.Submit(ctx, wu.LeaseID, sh)
+		res, err := w.Client.Submit(ctx, wu, sh)
 		switch {
 		case errors.Is(err, ErrCampaignDone):
 			// The campaign ended while we were computing; our result is moot.
 			return true, nil
+		case errors.Is(err, ErrUnauthorized):
+			return false, err
 		case errors.Is(err, ErrRejected):
 			return false, fmt.Errorf("coordctl: shard %d rejected by coordinator: %w", wu.ShardIndex, err)
 		case ctx.Err() != nil:
@@ -453,7 +623,7 @@ func (w *Worker) runUnit(ctx context.Context, wu *WorkUnit) (done bool, err erro
 			}
 			continue
 		}
-		w.failures = 0
+		w.contact()
 		w.Backoff.Reset()
 		switch {
 		case res.Accepted:

@@ -189,9 +189,13 @@ func (c Campaign) Combos() (int, error) {
 // WorkUnit is one granted lease: the campaign, the shard to run, and the
 // lease the worker must present at submission.
 type WorkUnit struct {
-	Campaign   Campaign `json:"campaign"`
-	ShardIndex int      `json:"shard_index"`
-	LeaseID    string   `json:"lease_id"`
+	Campaign Campaign `json:"campaign"`
+	// CampaignID is the daemon-assigned id the worker must echo back when
+	// submitting (?campaign=<id>) — unlike the lease id it stays valid
+	// across a coordinator restart, because it is journaled with the spec.
+	CampaignID string `json:"campaign_id"`
+	ShardIndex int    `json:"shard_index"`
+	LeaseID    string `json:"lease_id"`
 	// Attempt is 1 for the first dispatch of the shard, higher for
 	// re-dispatches after expired leases or rejected submissions.
 	Attempt int `json:"attempt"`
@@ -204,16 +208,53 @@ type SubmitResult struct {
 	// Superseded means another worker's result for the same shard was
 	// already accepted; this submission was discarded, which is fine.
 	Superseded bool `json:"superseded,omitempty"`
-	// Done means the campaign has completed and the worker can stop.
+	// CampaignDone means the submission's campaign reached a terminal
+	// state; other campaigns may still have work.
+	CampaignDone bool `json:"campaign_done,omitempty"`
+	// Done means no campaign on the coordinator is running and the worker
+	// fleet can stand down.
 	Done  bool   `json:"done,omitempty"`
 	Error string `json:"error,omitempty"`
+}
+
+// CampaignRequest is the POST /campaigns body: the user-facing knobs of a
+// campaign, resolved to a full Campaign (fingerprints, trace manifest) on
+// the coordinator.
+type CampaignRequest struct {
+	Figure   string   `json:"figure"`
+	Quick    bool     `json:"quick,omitempty"`
+	Seed     uint64   `json:"seed,omitempty"`
+	Pool     []string `json:"pool,omitempty"`
+	TraceDir string   `json:"trace_dir,omitempty"`
+	Shards   int      `json:"shards"`
+}
+
+// CampaignCreated is the POST /campaigns response.
+type CampaignCreated struct {
+	ID       string   `json:"id"`
+	Campaign Campaign `json:"campaign"`
+	Combos   int      `json:"combos"`
+}
+
+// CampaignSummary is one row of GET /campaigns.
+type CampaignSummary struct {
+	ID             string  `json:"id"`
+	Figure         string  `json:"figure"`
+	State          string  `json:"state"` // running | done | failed | cancelled
+	ShardTotal     int     `json:"shard_total"`
+	ShardsDone     int     `json:"shards_done"`
+	TotalCombos    int     `json:"total_combos"`
+	CombosCovered  int     `json:"combos_covered"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Error          string  `json:"error,omitempty"`
 }
 
 // Status is the /status document: the campaign, the per-shard state
 // machine, and the streaming partial merge.
 type Status struct {
+	ID             string        `json:"id"`
 	Figure         string        `json:"figure"`
-	State          string        `json:"state"` // running | done | failed
+	State          string        `json:"state"` // running | done | failed | cancelled
 	Error          string        `json:"error,omitempty"`
 	ElapsedSeconds float64       `json:"elapsed_seconds"`
 	TotalCombos    int           `json:"total_combos"`

@@ -77,7 +77,7 @@ func TestCorpusCampaignEndToEnd(t *testing.T) {
 	if len(campaign.Traces) != 5 {
 		t.Fatalf("campaign manifest has %d traces, want 5", len(campaign.Traces))
 	}
-	srv, hs := newTestServer(t, campaign, time.Minute, 3)
+	srv, hs, id := newTestServer(t, campaign, time.Minute, 3)
 
 	cache := t.TempDir()
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
@@ -106,11 +106,11 @@ func TestCorpusCampaignEndToEnd(t *testing.T) {
 		}
 	}
 	select {
-	case <-srv.Done():
+	case <-srv.Done(id):
 	default:
 		t.Fatal("workers exited but campaign is not done")
 	}
-	if err := srv.Err(); err != nil {
+	if err := srv.Err(id); err != nil {
 		t.Fatal(err)
 	}
 
@@ -123,7 +123,7 @@ func TestCorpusCampaignEndToEnd(t *testing.T) {
 	}
 
 	// Byte-identical equivalence with a local sweep over the directory.
-	merged, err := srv.Report()
+	merged, err := srv.Report(id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,8 +150,11 @@ func TestFetchTraceResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServer(ServerOptions{Campaign: campaign, Logf: t.Logf})
+	srv, err := NewServer(ServerOptions{Logger: testLogger(t)})
 	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.SubmitCampaign(campaign); err != nil {
 		t.Fatal(err)
 	}
 	var mu sync.Mutex
@@ -236,8 +239,11 @@ func TestFetchTraceConcurrentSharedCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServer(ServerOptions{Campaign: campaign, Logf: t.Logf})
+	srv, err := NewServer(ServerOptions{Logger: testLogger(t)})
 	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.SubmitCampaign(campaign); err != nil {
 		t.Fatal(err)
 	}
 	hs := httptest.NewServer(srv.Handler())
@@ -303,8 +309,11 @@ func TestFetchTraceRejectsTamperedContent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServer(ServerOptions{Campaign: campaign, Logf: t.Logf})
+	srv, err := NewServer(ServerOptions{Logger: testLogger(t)})
 	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.SubmitCampaign(campaign); err != nil {
 		t.Fatal(err)
 	}
 	hs := httptest.NewServer(srv.Handler())

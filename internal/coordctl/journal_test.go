@@ -1,0 +1,215 @@
+package coordctl
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// seedJournal writes a journal holding one campaign record and the first
+// `shards` accepted shard records, through the real server path, and returns
+// the journal file path plus the campaign used.
+func seedJournal(t *testing.T, dir string, shardTotal, accepted int) (string, Campaign, string) {
+	t.Helper()
+	campaign := quickCampaign(t, shardTotal)
+	srv, err := NewServer(ServerOptions{StateDir: dir, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := srv.SubmitCampaign(campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < accepted; i++ {
+		sh := stubShard(t, campaign, i)
+		sh.Worker, sh.Attempt = "seeder", 1
+		if err := srv.journal.Append(JournalRecord{Kind: recordShard, Campaign: id, Shard: &sh}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return JournalPath(dir), campaign, id
+}
+
+// TestJournalTornTailAtEveryOffset is the crash-recovery fuzz: a journal
+// truncated at EVERY byte offset must open without panicking, recover
+// exactly the records whose final newline survived, and leave the file
+// appendable. No offset may double-count a shard.
+func TestJournalTornTailAtEveryOffset(t *testing.T) {
+	full := t.TempDir()
+	path, _, _ := seedJournal(t, full, 4, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record boundaries: offsets just after each '\n'.
+	var boundaries []int
+	for i, b := range data {
+		if b == '\n' {
+			boundaries = append(boundaries, i+1)
+		}
+	}
+	wholeRecords := func(cut int) int {
+		n := 0
+		for _, b := range boundaries {
+			if b <= cut {
+				n++
+			}
+		}
+		return n
+	}
+
+	for cut := 0; cut < len(data); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(JournalPath(dir), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewServer(ServerOptions{StateDir: dir, Logger: testLogger(t)})
+		if err != nil {
+			t.Fatalf("cut at byte %d/%d: NewServer: %v", cut, len(data), err)
+		}
+		want := wholeRecords(cut)
+		if got := srv.journal.Records(); got != want {
+			t.Fatalf("cut at byte %d: recovered %d records, want %d", cut, got, want)
+		}
+		if got := int(srv.journal.Size()); want > 0 && got != boundaries[want-1] {
+			t.Fatalf("cut at byte %d: journal size %d, want truncation to %d", cut, got, boundaries[want-1])
+		}
+		// The replayed merge must count each recovered shard exactly once.
+		if want > 0 {
+			st, err := srv.Status("c1")
+			if err != nil {
+				t.Fatalf("cut at byte %d: %v", cut, err)
+			}
+			doneShards := 0
+			for _, sh := range st.Shards {
+				if sh.State == "done" {
+					doneShards++
+				}
+			}
+			if doneShards != want-1 { // first record is the campaign spec
+				t.Fatalf("cut at byte %d: %d shards done after replay, want %d", cut, doneShards, want-1)
+			}
+		}
+		srv.Close()
+	}
+}
+
+// TestJournalMidFileCorruption pins the typed-error contract: damage before
+// the final record is not a crash artifact, so replay refuses with
+// ErrJournalCorrupt instead of silently dropping state.
+func TestJournalMidFileCorruption(t *testing.T) {
+	full := t.TempDir()
+	path, _, _ := seedJournal(t, full, 4, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the second record's JSON payload.
+	first := strings.IndexByte(string(data), '\n')
+	dir := t.TempDir()
+	mangled := append([]byte(nil), data...)
+	mangled[first+15] ^= 0xff
+	if err := os.WriteFile(JournalPath(dir), mangled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(ServerOptions{StateDir: dir, Logger: testLogger(t)}); !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("mid-file corruption opened with err=%v, want ErrJournalCorrupt", err)
+	}
+	// The error names where the damage is.
+	_, err = NewServer(ServerOptions{StateDir: dir})
+	if err == nil || !strings.Contains(err.Error(), "record 1") {
+		t.Fatalf("corruption error %q does not locate the damaged record", err)
+	}
+}
+
+// TestJournalDuplicateShardReplay pins idempotent replay: a journal that
+// (through whatever fault) holds the same accepted shard twice replays with
+// the shard counted once — never double-merged.
+func TestJournalDuplicateShardReplay(t *testing.T) {
+	dir := t.TempDir()
+	campaign := quickCampaign(t, 2)
+	srv, err := NewServer(ServerOptions{StateDir: dir, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := srv.SubmitCampaign(campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := stubShard(t, campaign, 0)
+	sh.Worker, sh.Attempt = "dup", 1
+	for i := 0; i < 2; i++ {
+		if err := srv.journal.Append(JournalRecord{Kind: recordShard, Campaign: id, Shard: &sh}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Close()
+
+	srv2, err := NewServer(ServerOptions{StateDir: dir, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	st, err := srv2.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	for _, s := range st.Shards {
+		if s.State == "done" {
+			done++
+		}
+	}
+	if done != 1 {
+		t.Fatalf("%d shards done after duplicate replay, want 1", done)
+	}
+	if st.Partial == nil || st.Partial.Mixes != st.CombosCovered {
+		t.Fatalf("partial merge inconsistent after duplicate replay: %+v vs %d covered", st.Partial, st.CombosCovered)
+	}
+}
+
+// TestJournalAppendAfterRecovery: a journal that truncated a torn tail keeps
+// accepting appends, and the re-appended record replays cleanly.
+func TestJournalAppendAfterRecovery(t *testing.T) {
+	full := t.TempDir()
+	path, campaign, id := seedJournal(t, full, 4, 2)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-way through the final record.
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerOptions{StateDir: full, LeaseTimeout: time.Minute, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-append what the tear lost, then one more.
+	for i := 1; i < 3; i++ {
+		sh := stubShard(t, campaign, i)
+		sh.Worker, sh.Attempt = "healer", 1
+		if err := srv.journal.Append(JournalRecord{Kind: recordShard, Campaign: id, Shard: &sh}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Close()
+	recs, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardRecs := 0
+	for _, r := range recs {
+		if r.Kind == recordShard {
+			shardRecs++
+		}
+	}
+	if shardRecs != 3 {
+		t.Fatalf("journal holds %d shard records after heal, want 3", shardRecs)
+	}
+}

@@ -114,6 +114,24 @@ func (t *leaseTable) lease(worker string, now time.Time) *shardEntry {
 	return nil
 }
 
+// markDone moves a shard straight to done — the journal-replay path, where
+// the accepted result (with its provenance) is already durable and must not
+// be re-leased or recomputed.
+func (t *leaseTable) markDone(index int, worker string, attempt int, elapsed float64) {
+	e := t.byIndex(index)
+	if e == nil {
+		return
+	}
+	e.state = stateDone
+	e.leaseID = ""
+	e.worker = worker
+	if attempt > e.attempts {
+		e.attempts = attempt
+	}
+	e.elapsed = elapsed
+	e.lastErr = ""
+}
+
 // byIndex returns the entry for a shard index, or nil when out of range.
 func (t *leaseTable) byIndex(i int) *shardEntry {
 	if i < 0 || i >= len(t.entries) {

@@ -1,72 +1,103 @@
 package coordctl
 
 import (
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"symbiosched/internal/experiments"
 )
 
-// ServerOptions configures a coordinator.
+// ErrNoCampaign is returned for operations naming a campaign id the
+// coordinator does not serve.
+var ErrNoCampaign = errors.New("coordctl: no such campaign")
+
+// ErrCampaignCancelled is the terminal error of a campaign cancelled via the
+// API; Err returns it and /status carries its message.
+var ErrCampaignCancelled = errors.New("coordctl: campaign cancelled")
+
+// ServerOptions configures a coordinator daemon.
 type ServerOptions struct {
-	Campaign Campaign
+	// StateDir, when set, enables the write-ahead journal: accepted
+	// campaigns and shards are fsynced there before they are acknowledged,
+	// and NewServer replays the journal so a restarted coordinator resumes
+	// its campaigns instead of recomputing them. Empty keeps all state in
+	// memory (the pre-daemon behaviour).
+	StateDir string
 	// LeaseTimeout is how long a worker may hold a shard before it is
 	// re-dispatched (default 10 minutes — generous against Quick-scale
 	// shards, tight against a hung host).
 	LeaseTimeout time.Duration
-	// MaxAttempts bounds dispatches per shard before the campaign is
-	// declared failed (default 3).
+	// MaxAttempts bounds dispatches per shard before its campaign is
+	// declared failed (default 3). A restart resets attempt counts for
+	// unfinished shards — the journal records accepted work, not failures.
 	MaxAttempts int
+	// WorkerToken, when set, is the bearer token required on the worker
+	// plane (/lease, /submit, /status, /report, /trace, /metrics, campaign
+	// reads). The admin token is accepted there too.
+	WorkerToken string
+	// AdminToken, when set, is the bearer token required to submit or
+	// cancel campaigns. When only WorkerToken is set, it guards the admin
+	// plane as well, so configuring one token never leaves mutations open.
+	AdminToken string
 	// Clock is a test hook (default time.Now).
 	Clock func() time.Time
-	// Logf, when set, receives one line per protocol event.
-	Logf func(format string, args ...any)
+	// Logger receives one structured line per protocol event (lease,
+	// submit, re-dispatch, reject, merge, cancel) with campaign and worker
+	// provenance. Default: discard.
+	Logger *slog.Logger
 }
 
-// Server is the campaign coordinator: the lease table, the streaming
-// merge, and the HTTP handler that exposes both — plus, for trace
-// campaigns, the content-addressed corpus the workers fetch from.
+// Server is the campaign coordinator daemon: any number of concurrent
+// campaigns, each with its own lease table and streaming merge, behind one
+// HTTP API — plus the write-ahead journal that makes accepted state survive
+// restarts and the /metrics view that makes the whole thing observable.
 type Server struct {
-	opts   ServerOptions
-	mux    *http.ServeMux
-	state  *serverState
-	corpus *experiments.Corpus
+	opts ServerOptions
+	mux  *http.ServeMux
+
+	mu        sync.Mutex
+	campaigns map[string]*campaignState
+	order     []string          // campaign ids in submission order (lease priority)
+	leases    map[string]string // lease id → campaign id, across restarts-within-process
+	corpora   []*experiments.Corpus
+	corpusDir map[string]bool
+	journal   *Journal
+	ctr       Counters
+	start     time.Time
+	seq       int // campaign id sequence (c1, c2, ...)
 }
 
-// serverState is everything the handlers mutate, behind one mutex.
-type serverState struct {
-	mu       sync.Mutex
-	campaign Campaign
-	combos   int
-	table    *leaseTable
-	merger   *experiments.ShardMerger
-	start    time.Time
-	finished bool
-	failure  error
-	done     chan struct{}
+// campaignState is one campaign's bookkeeping behind the server mutex.
+type campaignState struct {
+	id      string
+	c       Campaign
+	combos  int
+	table   *leaseTable
+	merger  *experiments.ShardMerger
+	start   time.Time
+	state   string // running | done | failed | cancelled
+	failure error
+	done    chan struct{}
 }
 
-func (st *serverState) lock()   { st.mu.Lock() }
-func (st *serverState) unlock() { st.mu.Unlock() }
+func (cs *campaignState) running() bool { return cs.state == "running" }
 
-// NewServer validates the campaign and returns a coordinator ready to
-// serve. The campaign should come from NewCampaign so its fingerprints are
-// populated.
+// NewServer builds a coordinator daemon. With StateDir set, the journal is
+// replayed first: campaigns resume with every previously accepted shard
+// already merged. A journal with mid-file damage fails NewServer with
+// ErrJournalCorrupt; a torn tail (crash mid-append) is truncated silently.
 func NewServer(opts ServerOptions) (*Server, error) {
-	if opts.Campaign.PoolHash == "" || opts.Campaign.ConfigHash == "" {
-		return nil, fmt.Errorf("coordctl: campaign fingerprints missing (build the campaign with NewCampaign)")
-	}
-	combos, err := opts.Campaign.Combos()
-	if err != nil {
-		return nil, err
-	}
-	if opts.Campaign.ShardTotal > combos {
-		return nil, fmt.Errorf("coordctl: %d shards over %d combos leaves empty shards", opts.Campaign.ShardTotal, combos)
-	}
 	if opts.LeaseTimeout <= 0 {
 		opts.LeaseTimeout = 10 * time.Minute
 	}
@@ -76,158 +107,552 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	if opts.Clock == nil {
 		opts.Clock = time.Now
 	}
-	if opts.Logf == nil {
-		opts.Logf = func(string, ...any) {}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s := &Server{
-		opts: opts,
-		state: &serverState{
-			campaign: opts.Campaign,
-			combos:   combos,
-			table:    newLeaseTable(opts.Campaign.ShardTotal, opts.LeaseTimeout, opts.MaxAttempts),
-			merger:   experiments.NewShardMerger(),
-			start:    opts.Clock(),
-			done:     make(chan struct{}),
-		},
+		opts:      opts,
+		campaigns: make(map[string]*campaignState),
+		leases:    make(map[string]string),
+		corpusDir: make(map[string]bool),
+		start:     opts.Clock(),
 	}
-	if opts.Campaign.TraceDir != "" {
-		corpus, err := experiments.LoadCorpus(opts.Campaign.TraceDir)
+	if opts.StateDir != "" {
+		j, recs, err := OpenJournal(opts.StateDir)
 		if err != nil {
 			return nil, err
 		}
-		s.corpus = corpus
+		s.journal = j
+		if err := s.replay(recs); err != nil {
+			j.Close()
+			return nil, err
+		}
 	}
+
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /lease", s.handleLease)
-	s.mux.HandleFunc("POST /submit", s.handleSubmit)
-	s.mux.HandleFunc("GET /status", s.handleStatus)
-	s.mux.HandleFunc("GET /report", s.handleReport)
-	s.mux.HandleFunc("GET /trace/{fingerprint}", s.handleTrace)
+	s.mux.HandleFunc("POST /lease", s.worker(s.handleLease))
+	s.mux.HandleFunc("POST /submit", s.worker(s.handleSubmit))
+	s.mux.HandleFunc("GET /status", s.worker(s.handleStatus))
+	s.mux.HandleFunc("GET /report", s.worker(s.handleReport))
+	s.mux.HandleFunc("GET /trace/{fingerprint}", s.worker(s.handleTrace))
+	s.mux.HandleFunc("GET /metrics", s.worker(s.handleMetrics))
+	s.mux.HandleFunc("POST /campaigns", s.admin(s.handleSubmitCampaign))
+	s.mux.HandleFunc("GET /campaigns", s.worker(s.handleListCampaigns))
+	s.mux.HandleFunc("GET /campaigns/{id}", s.worker(s.handleCampaignStatus))
+	s.mux.HandleFunc("GET /campaigns/{id}/report", s.worker(s.handleReport))
+	s.mux.HandleFunc("DELETE /campaigns/{id}", s.admin(s.handleCancelCampaign))
 	return s, nil
 }
 
-// handleTrace serves one corpus trace by content fingerprint. http.ServeContent
-// gives workers byte-range requests for free, which is what makes interrupted
-// multi-GB fetches resumable instead of restartable.
-func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	if s.corpus == nil {
-		http.Error(w, "this campaign serves no traces", http.StatusNotFound)
-		return
+// replay rebuilds in-memory state from journal records. Shard records that
+// no longer apply (unknown campaign, already-done shard, failed validation)
+// are logged and skipped rather than double-counted — replay is idempotent.
+func (s *Server) replay(recs []JournalRecord) error {
+	for _, rec := range recs {
+		switch rec.Kind {
+		case recordCampaign:
+			if rec.Spec == nil {
+				return fmt.Errorf("coordctl: campaign record %s without a spec: %w", rec.Campaign, ErrJournalCorrupt)
+			}
+			if _, ok := s.campaigns[rec.Campaign]; ok {
+				s.opts.Logger.Warn("journal: duplicate campaign record skipped", "campaign", rec.Campaign)
+				continue
+			}
+			if _, err := s.registerCampaign(rec.Campaign, *rec.Spec); err != nil {
+				return fmt.Errorf("coordctl: replaying campaign %s: %w", rec.Campaign, err)
+			}
+			if n, err := strconv.Atoi(strings.TrimPrefix(rec.Campaign, "c")); err == nil && n > s.seq {
+				s.seq = n
+			}
+		case recordShard:
+			cs, ok := s.campaigns[rec.Campaign]
+			if !ok || rec.Shard == nil {
+				s.opts.Logger.Warn("journal: orphan shard record skipped", "campaign", rec.Campaign)
+				continue
+			}
+			sh := *rec.Shard
+			e := cs.table.byIndex(sh.Index)
+			if e == nil || e.state == stateDone {
+				s.opts.Logger.Warn("journal: duplicate shard record skipped",
+					"campaign", rec.Campaign, "shard", sh.Index)
+				continue
+			}
+			if err := cs.merger.Add(sh); err != nil {
+				s.opts.Logger.Warn("journal: shard record no longer merges, skipped",
+					"campaign", rec.Campaign, "shard", sh.Index, "err", err)
+				continue
+			}
+			cs.table.markDone(sh.Index, sh.Worker, sh.Attempt, sh.ElapsedSeconds)
+			s.checkTerminal(cs)
+		case recordCancel:
+			cs, ok := s.campaigns[rec.Campaign]
+			if !ok {
+				continue
+			}
+			s.cancelLocked(cs)
+		}
 	}
-	fp := r.PathValue("fingerprint")
-	ref, ok := s.corpus.Lookup(fp)
-	if !ok {
-		http.Error(w, "no trace with fingerprint "+fp, http.StatusNotFound)
-		return
+	for _, id := range s.order {
+		cs := s.campaigns[id]
+		s.opts.Logger.Info("journal: campaign restored",
+			"campaign", id, "figure", cs.c.Figure, "state", cs.state,
+			"shards_done", cs.merger.Accepted(), "shard_total", cs.c.ShardTotal)
 	}
-	f, err := os.Open(s.corpus.Path(ref))
+	return nil
+}
+
+// registerCampaign installs a campaign under id. Caller holds the lock (or
+// is NewServer, before the server is shared).
+func (s *Server) registerCampaign(id string, c Campaign) (*campaignState, error) {
+	if c.PoolHash == "" || c.ConfigHash == "" {
+		return nil, fmt.Errorf("coordctl: campaign fingerprints missing (build the campaign with NewCampaign)")
+	}
+	if c.ShardTotal < 1 {
+		return nil, fmt.Errorf("coordctl: campaign needs at least 1 shard")
+	}
+	combos, err := c.Combos()
 	if err != nil {
-		s.opts.Logf("coordinator: corpus trace %s vanished: %v", ref.File, err)
-		http.Error(w, "corpus trace unavailable", http.StatusInternalServerError)
+		return nil, err
+	}
+	if c.ShardTotal > combos {
+		return nil, fmt.Errorf("coordctl: %d shards over %d combos leaves empty shards", c.ShardTotal, combos)
+	}
+	cs := &campaignState{
+		id:     id,
+		c:      c,
+		combos: combos,
+		table:  newLeaseTable(c.ShardTotal, s.opts.LeaseTimeout, s.opts.MaxAttempts),
+		merger: experiments.NewShardMerger(),
+		start:  s.opts.Clock(),
+		state:  "running",
+		done:   make(chan struct{}),
+	}
+	if c.TraceDir != "" && !s.corpusDir[c.TraceDir] {
+		corpus, err := experiments.LoadCorpus(c.TraceDir)
+		if err != nil {
+			// The campaign can still run on a shared filesystem; only the
+			// fetch endpoint for this directory is unavailable.
+			s.opts.Logger.Warn("campaign trace dir unreadable; /trace will not serve it",
+				"campaign", id, "dir", c.TraceDir, "err", err)
+		} else {
+			s.corpora = append(s.corpora, corpus)
+			s.corpusDir[c.TraceDir] = true
+		}
+	}
+	s.campaigns[id] = cs
+	s.order = append(s.order, id)
+	return cs, nil
+}
+
+// SubmitCampaign accepts a campaign (built with NewCampaign), journals it,
+// and starts serving its leases. It returns the assigned campaign id.
+func (s *Server) SubmitCampaign(c Campaign) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := fmt.Sprintf("c%d", s.seq+1)
+	if s.journal != nil {
+		if err := s.journal.Append(JournalRecord{Kind: recordCampaign, Campaign: id, Spec: &c}); err != nil {
+			return "", err
+		}
+	}
+	cs, err := s.registerCampaign(id, c)
+	if err != nil {
+		return "", err
+	}
+	s.seq++
+	s.ctr.CampaignsSubmitted++
+	s.opts.Logger.Info("campaign accepted",
+		"campaign", id, "figure", c.Figure, "shards", c.ShardTotal,
+		"combos", cs.combos, "pool_hash", c.PoolHash)
+	return id, nil
+}
+
+// AdoptOrSubmit is the restart-resume path of the single-campaign CLI: if
+// the (journal-replayed) server already holds a live campaign with the same
+// identity — figure, scale, fingerprints, shard count — that campaign is
+// adopted instead of submitting a duplicate, so rerunning the same
+// coordinator command line after a crash resumes where it stopped.
+func (s *Server) AdoptOrSubmit(c Campaign) (id string, adopted bool, err error) {
+	s.mu.Lock()
+	for _, cid := range s.order {
+		cs := s.campaigns[cid]
+		prev := cs.c
+		if cs.state != "failed" && cs.state != "cancelled" &&
+			prev.Figure == c.Figure && prev.Quick == c.Quick && prev.Seed == c.Seed &&
+			prev.PoolHash == c.PoolHash && prev.ConfigHash == c.ConfigHash &&
+			prev.ShardTotal == c.ShardTotal {
+			s.mu.Unlock()
+			return cid, true, nil
+		}
+	}
+	s.mu.Unlock()
+	id, err = s.SubmitCampaign(c)
+	return id, false, err
+}
+
+// CancelCampaign cancels a running campaign: its leases are released, its
+// workers' submissions are discarded as superseded, and the cancellation is
+// journaled so a restart does not resurrect it.
+func (s *Server) CancelCampaign(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.campaigns[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoCampaign, id)
+	}
+	if !cs.running() {
+		return fmt.Errorf("coordctl: campaign %s is already %s", id, cs.state)
+	}
+	if s.journal != nil {
+		if err := s.journal.Append(JournalRecord{Kind: recordCancel, Campaign: id}); err != nil {
+			return err
+		}
+	}
+	s.cancelLocked(cs)
+	return nil
+}
+
+// cancelLocked moves a campaign to its cancelled terminal state.
+func (s *Server) cancelLocked(cs *campaignState) {
+	if !cs.running() {
 		return
 	}
-	defer f.Close()
-	w.Header().Set("Content-Type", "application/octet-stream")
-	// The content address IS the version: a fingerprint never serves
-	// different bytes, so the modtime only needs to be stable, not real.
-	http.ServeContent(w, r, ref.File, time.Unix(0, 0), f)
+	released := 0
+	for i := range cs.table.entries {
+		e := &cs.table.entries[i]
+		if e.state == stateLeased {
+			e.state = statePending
+			e.leaseID = ""
+			released++
+		}
+	}
+	cs.state = "cancelled"
+	cs.failure = ErrCampaignCancelled
+	s.ctr.CampaignsCancelled++
+	close(cs.done)
+	s.opts.Logger.Info("campaign cancelled", "campaign", cs.id, "figure", cs.c.Figure,
+		"leases_released", released, "combos_merged", cs.merger.Covered())
+}
+
+// Close releases the journal. In-flight handlers finish normally; every
+// acknowledged event is already fsynced, so Close loses nothing.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	err := s.journal.Close()
+	s.journal = nil
+	return err
 }
 
 // Handler returns the coordinator's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Done is closed when the campaign finishes — every shard accepted, or a
-// shard failed permanently. Check Err afterwards.
-func (s *Server) Done() <-chan struct{} { return s.state.done }
-
-// Err returns the campaign's terminal error (nil on success). Valid after
-// Done is closed.
-func (s *Server) Err() error {
-	st := s.state
-	st.lock()
-	defer st.unlock()
-	return st.failure
+// JournalSize returns the write-ahead journal's byte size (0 without a
+// state dir).
+func (s *Server) JournalSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return 0
+	}
+	return s.journal.Size()
 }
 
-// Report returns the final merged report; it errors while shards are
-// outstanding or after a failed campaign.
-func (s *Server) Report() (experiments.ImprovementReport, error) {
-	st := s.state
-	st.lock()
-	defer st.unlock()
-	if st.failure != nil {
-		return experiments.ImprovementReport{}, st.failure
+// Done returns the channel closed when campaign id reaches a terminal state
+// (done, failed or cancelled), or nil for an unknown id.
+func (s *Server) Done(id string) <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.campaigns[id]
+	if !ok {
+		return nil
 	}
-	return st.merger.Report()
+	return cs.done
 }
 
-// sweepExpiry advances the lease state machine to now. Called under the
-// lock by every handler, so stragglers are detected as soon as any worker
-// or status probe talks to us — the coordinator needs no background timer.
-func (s *Server) sweepExpiry(now time.Time) {
-	st := s.state
-	requeued, failed := st.table.expire(now)
-	for _, i := range requeued {
-		s.opts.Logf("coordinator: shard %d lease expired, re-dispatching (attempt %d of %d)",
-			i, st.table.entries[i].attempts, s.opts.MaxAttempts)
+// Err returns a campaign's terminal error (nil while running or on success).
+func (s *Server) Err(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.campaigns[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoCampaign, id)
 	}
-	for _, i := range failed {
-		s.opts.Logf("coordinator: shard %d failed permanently: %s", i, st.table.entries[i].lastErr)
-	}
-	s.checkTerminal()
+	return cs.failure
 }
 
-// checkTerminal moves the campaign to done/failed when the table says so.
+// Report returns a campaign's final merged report; it errors while shards
+// are outstanding and after a failed or cancelled campaign.
+func (s *Server) Report(id string) (experiments.ImprovementReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.campaigns[id]
+	if !ok {
+		return experiments.ImprovementReport{}, fmt.Errorf("%w: %s", ErrNoCampaign, id)
+	}
+	if cs.failure != nil {
+		return experiments.ImprovementReport{}, cs.failure
+	}
+	return cs.merger.Report()
+}
+
+// Status returns one campaign's status document, as /campaigns/{id} serves.
+func (s *Server) Status(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.campaigns[id]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %s", ErrNoCampaign, id)
+	}
+	now := s.opts.Clock()
+	s.sweepExpiryLocked(now)
+	return s.statusLocked(cs, now), nil
+}
+
+// Campaigns lists every campaign in submission order, as /campaigns serves.
+func (s *Server) Campaigns() []CampaignSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.opts.Clock()
+	s.sweepExpiryLocked(now)
+	out := make([]CampaignSummary, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.summaryLocked(s.campaigns[id], now))
+	}
+	return out
+}
+
+func (s *Server) summaryLocked(cs *campaignState, now time.Time) CampaignSummary {
+	done := 0
+	for i := range cs.table.entries {
+		if cs.table.entries[i].state == stateDone {
+			done++
+		}
+	}
+	sum := CampaignSummary{
+		ID:             cs.id,
+		Figure:         cs.c.Figure,
+		State:          cs.state,
+		ShardTotal:     cs.c.ShardTotal,
+		ShardsDone:     done,
+		TotalCombos:    cs.combos,
+		CombosCovered:  cs.merger.Covered(),
+		ElapsedSeconds: now.Sub(cs.start).Seconds(),
+	}
+	if cs.failure != nil {
+		sum.Error = cs.failure.Error()
+	}
+	return sum
+}
+
+// --- auth ----------------------------------------------------------------
+
+// worker wraps a handler with worker-plane auth; admin with admin-plane.
+func (s *Server) worker(h http.HandlerFunc) http.HandlerFunc { return s.protect(false, h) }
+func (s *Server) admin(h http.HandlerFunc) http.HandlerFunc  { return s.protect(true, h) }
+
+func (s *Server) protect(admin bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.authorized(r, admin) {
+			s.mu.Lock()
+			s.ctr.AuthFailures++
+			s.mu.Unlock()
+			s.opts.Logger.Warn("request refused: bad or missing bearer token",
+				"path", r.URL.Path, "remote", r.RemoteAddr, "admin", admin)
+			w.Header().Set("WWW-Authenticate", `Bearer realm="coordinator"`)
+			http.Error(w, "missing or invalid bearer token", http.StatusUnauthorized)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// authorized checks the request's bearer token against the configured
+// tokens. The admin token is accepted everywhere; the worker token only on
+// the worker plane. With no tokens configured the server is open (trusted
+// network, the pre-daemon behaviour); with only a worker token configured,
+// that token guards the admin plane too, so one-token deployments never
+// leave campaign mutation open.
+func (s *Server) authorized(r *http.Request, admin bool) bool {
+	workerTok, adminTok := s.opts.WorkerToken, s.opts.AdminToken
+	var accepted []string
+	if admin {
+		switch {
+		case adminTok != "":
+			accepted = []string{adminTok}
+		case workerTok != "":
+			accepted = []string{workerTok}
+		default:
+			return true
+		}
+	} else {
+		if workerTok == "" {
+			return true
+		}
+		accepted = []string{workerTok, adminTok}
+	}
+	got := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+	ok := false
+	for _, want := range accepted {
+		// Evaluate every candidate: hashing both sides makes the compare
+		// constant-time in both token length and match position.
+		if want != "" && tokenEqual(got, want) {
+			ok = true
+		}
+	}
+	return ok
+}
+
+// tokenEqual is a constant-time token compare (over SHA-256 digests, so
+// length differences leak nothing either).
+func tokenEqual(a, b string) bool {
+	ha, hb := sha256.Sum256([]byte(a)), sha256.Sum256([]byte(b))
+	return subtle.ConstantTimeCompare(ha[:], hb[:]) == 1
+}
+
+// --- protocol handlers ---------------------------------------------------
+
+// sweepExpiryLocked advances every campaign's lease state machine to now.
+// Called under the lock by every handler, so stragglers are detected as soon
+// as any worker or status probe talks to us — no background timer needed.
+func (s *Server) sweepExpiryLocked(now time.Time) {
+	for _, id := range s.order {
+		cs := s.campaigns[id]
+		if !cs.running() {
+			continue
+		}
+		requeued, failed := cs.table.expire(now)
+		s.ctr.Redispatches += int64(len(requeued))
+		for _, i := range requeued {
+			s.opts.Logger.Info("lease expired, shard re-dispatching",
+				"campaign", id, "shard", i, "worker", cs.table.entries[i].worker,
+				"attempt", cs.table.entries[i].attempts, "max_attempts", s.opts.MaxAttempts)
+		}
+		for _, i := range failed {
+			s.ctr.ShardsFailed++
+			s.opts.Logger.Error("shard failed permanently",
+				"campaign", id, "shard", i, "err", cs.table.entries[i].lastErr)
+		}
+		s.checkTerminal(cs)
+	}
+}
+
+// checkTerminal moves a campaign to done/failed when its table says so.
 // Caller holds the lock.
-func (s *Server) checkTerminal() {
-	st := s.state
-	if st.finished {
+func (s *Server) checkTerminal(cs *campaignState) {
+	if !cs.running() {
 		return
 	}
-	if e := st.table.firstFailed(); e != nil {
-		st.failure = fmt.Errorf("coordctl: shard %d failed after %d attempts: %s", e.index, e.attempts, e.lastErr)
-		st.finished = true
-		close(st.done)
+	if e := cs.table.firstFailed(); e != nil {
+		cs.failure = fmt.Errorf("coordctl: shard %d failed after %d attempts: %s", e.index, e.attempts, e.lastErr)
+		cs.state = "failed"
+		s.ctr.CampaignsFailed++
+		close(cs.done)
+		s.opts.Logger.Error("campaign failed", "campaign", cs.id, "figure", cs.c.Figure, "err", cs.failure)
 		return
 	}
-	if st.table.allDone() && st.merger.Complete() {
-		st.finished = true
-		close(st.done)
+	if cs.table.allDone() && cs.merger.Complete() {
+		cs.state = "done"
+		s.ctr.CampaignsDone++
+		close(cs.done)
+		s.opts.Logger.Info("campaign complete",
+			"campaign", cs.id, "figure", cs.c.Figure, "combos", cs.combos,
+			"elapsed", s.opts.Clock().Sub(cs.start).Seconds())
 	}
+}
+
+// idleLocked reports whether no campaign is currently running — the signal
+// (SubmitResult.Done, lease 410) that tells a worker fleet to stand down.
+func (s *Server) idleLocked() bool {
+	for _, cs := range s.campaigns {
+		if cs.running() {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req struct {
-		Worker string `json:"worker"`
+		Worker   string `json:"worker"`
+		Campaign string `json:"campaign,omitempty"` // optional scope
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
 		http.Error(w, "lease request must be JSON with a worker name", http.StatusBadRequest)
 		return
 	}
-	st := s.state
-	st.lock()
-	defer st.unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	now := s.opts.Clock()
-	s.sweepExpiry(now)
-	if st.finished {
-		writeJSONStatus(w, http.StatusGone, SubmitResult{Done: true, Error: errString(st.failure)})
+	s.sweepExpiryLocked(now)
+
+	scope := s.order
+	if req.Campaign != "" {
+		cs, ok := s.campaigns[req.Campaign]
+		if !ok {
+			http.Error(w, "no campaign "+req.Campaign, http.StatusNotFound)
+			return
+		}
+		if !cs.running() {
+			writeJSONStatus(w, http.StatusGone, SubmitResult{Done: true, Error: errString(cs.failure)})
+			return
+		}
+		scope = []string{req.Campaign}
+	} else if len(s.campaigns) > 0 && s.idleLocked() {
+		// Every known campaign is over: tell the fleet to stand down. (With
+		// no campaigns at all the daemon answers 204 — workers started
+		// ahead of the first submission poll until work arrives.)
+		writeJSONStatus(w, http.StatusGone, SubmitResult{Done: true})
 		return
 	}
-	e := st.table.lease(req.Worker, now)
-	if e == nil {
-		// Everything pending is leased or done; the worker should back
-		// off and ask again — it may inherit an expired lease.
-		w.WriteHeader(http.StatusNoContent)
+	for _, id := range scope {
+		cs := s.campaigns[id]
+		if !cs.running() {
+			continue
+		}
+		e := cs.table.lease(req.Worker, now)
+		if e == nil {
+			continue
+		}
+		e.leaseID = fmt.Sprintf("%s-%s", id, e.leaseID)
+		s.leases[e.leaseID] = id
+		s.ctr.LeasesGranted++
+		s.opts.Logger.Info("shard leased",
+			"campaign", id, "shard", e.index, "shard_total", cs.c.ShardTotal,
+			"worker", req.Worker, "lease", e.leaseID, "attempt", e.attempts)
+		writeJSON(w, WorkUnit{
+			Campaign:   cs.c,
+			CampaignID: id,
+			ShardIndex: e.index,
+			LeaseID:    e.leaseID,
+			Attempt:    e.attempts,
+		})
 		return
 	}
-	s.opts.Logf("coordinator: shard %d/%d leased to %s (%s, attempt %d)",
-		e.index, st.campaign.ShardTotal, req.Worker, e.leaseID, e.attempts)
-	writeJSON(w, WorkUnit{
-		Campaign:   st.campaign,
-		ShardIndex: e.index,
-		LeaseID:    e.leaseID,
-		Attempt:    e.attempts,
-	})
+	// Everything pending is leased or done; the worker should back off and
+	// ask again — it may inherit an expired lease.
+	s.ctr.EmptyPolls++
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// resolveSubmitCampaign maps a submission to its campaign: by the campaign
+// query parameter (what current workers send, and the only thing that works
+// across a coordinator restart), by the lease id, or — for compatibility
+// with single-campaign clients — the only campaign there is.
+func (s *Server) resolveSubmitCampaign(r *http.Request, leaseID string) *campaignState {
+	if id := r.URL.Query().Get("campaign"); id != "" {
+		return s.campaigns[id]
+	}
+	if id, ok := s.leases[leaseID]; ok {
+		return s.campaigns[id]
+	}
+	if len(s.order) == 1 {
+		return s.campaigns[s.order[0]]
+	}
+	return nil
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -237,43 +662,73 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "submit body must be a shard JSON document", http.StatusBadRequest)
 		return
 	}
-	st := s.state
-	st.lock()
-	defer st.unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	now := s.opts.Clock()
-	s.sweepExpiry(now)
+	s.sweepExpiryLocked(now)
 
-	e := st.table.byIndex(sh.Index)
-	if e == nil || sh.Total != st.campaign.ShardTotal {
+	cs := s.resolveSubmitCampaign(r, leaseID)
+	if cs == nil {
 		writeJSONStatus(w, http.StatusUnprocessableEntity, SubmitResult{
-			Error: fmt.Sprintf("shard %d/%d does not belong to this %d-shard campaign", sh.Index, sh.Total, st.campaign.ShardTotal)})
+			Error: "submission names no campaign this coordinator serves (send ?campaign=<id>)"})
+		return
+	}
+	if !cs.running() && cs.state != "done" {
+		// Cancelled or failed: the worker's result is moot but not wrong —
+		// same contract as a superseded duplicate, so fleets drain cleanly.
+		s.ctr.SubmitsSuperseded++
+		writeJSON(w, SubmitResult{Superseded: true, Done: s.idleLocked(),
+			Error: fmt.Sprintf("campaign %s is %s", cs.id, cs.state)})
+		return
+	}
+	e := cs.table.byIndex(sh.Index)
+	if e == nil || sh.Total != cs.c.ShardTotal {
+		s.ctr.SubmitsRejected++
+		writeJSONStatus(w, http.StatusUnprocessableEntity, SubmitResult{
+			Error: fmt.Sprintf("shard %d/%d does not belong to campaign %s (%d shards)", sh.Index, sh.Total, cs.id, cs.c.ShardTotal)})
 		return
 	}
 	if e.state == stateDone {
 		// First valid result won; a straggler's duplicate is discarded.
-		s.opts.Logf("coordinator: shard %d duplicate from lease %s discarded (already done)", sh.Index, leaseID)
-		writeJSON(w, SubmitResult{Superseded: true, Done: st.finished})
+		s.ctr.SubmitsSuperseded++
+		s.opts.Logger.Info("duplicate shard discarded",
+			"campaign", cs.id, "shard", sh.Index, "worker", sh.Worker, "lease", leaseID)
+		writeJSON(w, SubmitResult{Superseded: true, Done: s.idleLocked()})
 		return
 	}
-	if err := s.validate(sh); err != nil {
-		s.opts.Logf("coordinator: shard %d from %s rejected: %v", sh.Index, sh.Worker, err)
-		st.table.reject(e, err.Error())
-		s.checkTerminal()
+	if err := s.validate(cs, sh); err != nil {
+		s.ctr.SubmitsRejected++
+		s.opts.Logger.Warn("shard rejected",
+			"campaign", cs.id, "shard", sh.Index, "worker", sh.Worker, "err", err)
+		cs.table.reject(e, err.Error())
+		s.checkTerminal(cs)
 		writeJSONStatus(w, http.StatusUnprocessableEntity, SubmitResult{Error: err.Error()})
 		return
 	}
-	// Stamp lease provenance into the shard header before folding, so the
-	// merged campaign records who ran what on which attempt.
+	// Stamp lease provenance into the shard header before journaling and
+	// folding, so the durable record says who ran what on which attempt.
 	if sh.Worker == "" {
 		sh.Worker = e.worker
 	}
 	if sh.Attempt == 0 {
 		sh.Attempt = e.attempts
 	}
-	if err := st.merger.Add(sh); err != nil {
-		s.opts.Logf("coordinator: shard %d failed streaming merge: %v", sh.Index, err)
-		st.table.reject(e, err.Error())
-		s.checkTerminal()
+	if s.journal != nil {
+		if err := s.journal.Append(JournalRecord{Kind: recordShard, Campaign: cs.id, Shard: &sh}); err != nil {
+			// Durability failed: do NOT acknowledge. The worker retries the
+			// submit; the shard stays leased to it meanwhile.
+			s.opts.Logger.Error("journal append failed; submission not acknowledged",
+				"campaign", cs.id, "shard", sh.Index, "err", err)
+			writeJSONStatus(w, http.StatusInternalServerError, SubmitResult{Error: "journal write failed, retry"})
+			return
+		}
+	}
+	if err := cs.merger.Add(sh); err != nil {
+		s.ctr.SubmitsRejected++
+		s.opts.Logger.Warn("shard failed streaming merge",
+			"campaign", cs.id, "shard", sh.Index, "err", err)
+		cs.table.reject(e, err.Error())
+		s.checkTerminal(cs)
 		writeJSONStatus(w, http.StatusUnprocessableEntity, SubmitResult{Error: err.Error()})
 		return
 	}
@@ -281,31 +736,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	e.worker = sh.Worker
 	e.elapsed = sh.ElapsedSeconds
 	e.lastErr = ""
-	s.checkTerminal()
-	s.opts.Logf("coordinator: shard %d accepted from %s (%.1fs, lease %s); %d/%d combos merged",
-		sh.Index, sh.Worker, sh.ElapsedSeconds, leaseID, st.merger.Covered(), st.combos)
-	writeJSON(w, SubmitResult{Accepted: true, Done: st.finished})
+	s.ctr.SubmitsAccepted++
+	s.checkTerminal(cs)
+	s.opts.Logger.Info("shard accepted and merged",
+		"campaign", cs.id, "shard", sh.Index, "worker", sh.Worker, "attempt", sh.Attempt,
+		"elapsed", sh.ElapsedSeconds, "lease", leaseID,
+		"combos_merged", cs.merger.Covered(), "combos_total", cs.combos)
+	writeJSON(w, SubmitResult{Accepted: true, CampaignDone: !cs.running(), Done: s.idleLocked()})
 }
 
-// validate checks a submission against the campaign before it reaches the
+// validate checks a submission against its campaign before it reaches the
 // merger: fingerprints first (a misconfigured worker must be rejected even
 // on the very first submission, when the merger has no reference shard),
 // then the exact range geometry the lease implied.
-func (s *Server) validate(sh experiments.Shard) error {
-	st := s.state
+func (s *Server) validate(cs *campaignState, sh experiments.Shard) error {
 	if sh.Format != experiments.ShardFormat {
 		return fmt.Errorf("shard format %d, want %d: %w", sh.Format, experiments.ShardFormat, experiments.ErrShardFormat)
 	}
-	if sh.PoolHash != st.campaign.PoolHash {
-		return fmt.Errorf("pool hash %s, campaign %s: %w", sh.PoolHash, st.campaign.PoolHash, experiments.ErrShardCampaign)
+	if sh.PoolHash != cs.c.PoolHash {
+		return fmt.Errorf("pool hash %s, campaign %s: %w", sh.PoolHash, cs.c.PoolHash, experiments.ErrShardCampaign)
 	}
-	if sh.ConfigHash != st.campaign.ConfigHash {
-		return fmt.Errorf("config hash %s, campaign %s: %w", sh.ConfigHash, st.campaign.ConfigHash, experiments.ErrShardCampaign)
+	if sh.ConfigHash != cs.c.ConfigHash {
+		return fmt.Errorf("config hash %s, campaign %s: %w", sh.ConfigHash, cs.c.ConfigHash, experiments.ErrShardCampaign)
 	}
-	if sh.TotalCombos != st.combos {
-		return fmt.Errorf("%d total combos, campaign has %d: %w", sh.TotalCombos, st.combos, experiments.ErrShardCampaign)
+	if sh.TotalCombos != cs.combos {
+		return fmt.Errorf("%d total combos, campaign has %d: %w", sh.TotalCombos, cs.combos, experiments.ErrShardCampaign)
 	}
-	lo, hi := experiments.ShardRange(st.combos, sh.Index, st.campaign.ShardTotal)
+	lo, hi := experiments.ShardRange(cs.combos, sh.Index, cs.c.ShardTotal)
 	if sh.ComboLo != lo || sh.ComboHi != hi {
 		return fmt.Errorf("shard %d range [%d,%d), lease implies [%d,%d): %w",
 			sh.Index, sh.ComboLo, sh.ComboHi, lo, hi, experiments.ErrShardTiling)
@@ -313,45 +770,62 @@ func (s *Server) validate(sh experiments.Shard) error {
 	return nil
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	st := s.state
-	st.lock()
-	defer st.unlock()
-	now := s.opts.Clock()
-	s.sweepExpiry(now)
-	writeJSON(w, s.statusLocked(now))
-}
-
-// StatusSnapshot returns the same document /status serves (for in-process
-// callers like the coordinator CLI's progress line).
-func (s *Server) StatusSnapshot() Status {
-	st := s.state
-	st.lock()
-	defer st.unlock()
-	now := s.opts.Clock()
-	s.sweepExpiry(now)
-	return s.statusLocked(now)
-}
-
-func (s *Server) statusLocked(now time.Time) Status {
-	st := s.state
-	out := Status{
-		Figure:         st.campaign.Figure,
-		State:          "running",
-		ElapsedSeconds: now.Sub(st.start).Seconds(),
-		TotalCombos:    st.combos,
-		CombosCovered:  st.merger.Covered(),
-		Shards:         make([]ShardStatus, len(st.table.entries)),
-	}
-	if st.finished {
-		out.State = "done"
-		if st.failure != nil {
-			out.State = "failed"
-			out.Error = st.failure.Error()
+// statusCampaign resolves the campaign a /status or /report request means:
+// the {id} path segment, the ?campaign= parameter, or — compatibility with
+// single-campaign clients — the only campaign there is.
+func (s *Server) statusCampaign(r *http.Request) (*campaignState, error) {
+	if id := r.PathValue("id"); id != "" {
+		cs, ok := s.campaigns[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoCampaign, id)
 		}
+		return cs, nil
 	}
-	for i := range st.table.entries {
-		e := &st.table.entries[i]
+	if id := r.URL.Query().Get("campaign"); id != "" {
+		cs, ok := s.campaigns[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoCampaign, id)
+		}
+		return cs, nil
+	}
+	if len(s.order) == 1 {
+		return s.campaigns[s.order[0]], nil
+	}
+	return nil, fmt.Errorf("coordctl: %d campaigns; name one with ?campaign=<id> or GET /campaigns", len(s.order))
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.opts.Clock()
+	s.sweepExpiryLocked(now)
+	cs, err := s.statusCampaign(r)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrNoCampaign) {
+			code = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	writeJSON(w, s.statusLocked(cs, now))
+}
+
+func (s *Server) statusLocked(cs *campaignState, now time.Time) Status {
+	out := Status{
+		ID:             cs.id,
+		Figure:         cs.c.Figure,
+		State:          cs.state,
+		ElapsedSeconds: now.Sub(cs.start).Seconds(),
+		TotalCombos:    cs.combos,
+		CombosCovered:  cs.merger.Covered(),
+		Shards:         make([]ShardStatus, len(cs.table.entries)),
+	}
+	if cs.failure != nil {
+		out.Error = cs.failure.Error()
+	}
+	for i := range cs.table.entries {
+		e := &cs.table.entries[i]
 		ss := ShardStatus{
 			Index:    e.index,
 			State:    e.state.String(),
@@ -367,20 +841,119 @@ func (s *Server) statusLocked(now time.Time) Status {
 		}
 		out.Shards[i] = ss
 	}
-	if st.merger.Accepted() > 0 {
-		partial := st.merger.Partial()
+	if cs.merger.Accepted() > 0 {
+		partial := cs.merger.Partial()
 		out.Partial = &partial
 	}
 	return out
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	report, err := s.Report()
+	s.mu.Lock()
+	cs, err := s.statusCampaign(r)
+	if err != nil {
+		s.mu.Unlock()
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrNoCampaign) {
+			code = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	id := cs.id
+	s.mu.Unlock()
+	report, err := s.Report(id)
 	if err != nil {
 		writeJSONStatus(w, http.StatusConflict, SubmitResult{Error: err.Error()})
 		return
 	}
 	writeJSON(w, report)
+}
+
+// handleTrace serves one corpus trace by content fingerprint, searching every
+// campaign's corpus — the address is the content, so a fingerprint means the
+// same bytes no matter which campaign advertised it. http.ServeContent gives
+// workers byte-range requests for free, which is what makes interrupted
+// multi-GB fetches resumable instead of restartable.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fingerprint")
+	s.mu.Lock()
+	s.ctr.TraceRequests++
+	var path, name string
+	for _, corpus := range s.corpora {
+		if ref, ok := corpus.Lookup(fp); ok {
+			path, name = corpus.Path(ref), ref.File
+			break
+		}
+	}
+	s.mu.Unlock()
+	if path == "" {
+		http.Error(w, "no trace with fingerprint "+fp, http.StatusNotFound)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		s.opts.Logger.Error("corpus trace vanished", "file", name, "err", err)
+		http.Error(w, "corpus trace unavailable", http.StatusInternalServerError)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	// The content address IS the version: a fingerprint never serves
+	// different bytes, so the modtime only needs to be stable, not real.
+	http.ServeContent(w, r, name, time.Unix(0, 0), f)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.opts.Clock()
+	s.sweepExpiryLocked(now)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w, now)
+}
+
+// --- campaign API handlers -----------------------------------------------
+
+func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
+	var req CampaignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "campaign request must be JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	c, err := NewCampaign(req.Figure, req.Quick, req.Seed, req.Pool, req.TraceDir, req.Shards)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	id, err := s.SubmitCampaign(c)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	combos, _ := c.Combos()
+	writeJSONStatus(w, http.StatusCreated, CampaignCreated{ID: id, Campaign: c, Combos: combos})
+}
+
+func (s *Server) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Campaigns())
+}
+
+func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
+	s.handleStatus(w, r)
+}
+
+func (s *Server) handleCancelCampaign(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.CancelCampaign(id); err != nil {
+		code := http.StatusConflict
+		if errors.Is(err, ErrNoCampaign) {
+			code = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	writeJSON(w, map[string]string{"id": id, "state": "cancelled"})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,9 +1,11 @@
 package coordctl
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -12,6 +14,20 @@ import (
 
 	"symbiosched/internal/experiments"
 )
+
+// tWriter adapts t.Logf into an io.Writer for slog handlers.
+type tWriter struct{ t *testing.T }
+
+func (w tWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
+// testLogger routes the server's structured log into the test log.
+func testLogger(t *testing.T) *slog.Logger {
+	t.Helper()
+	return slog.New(slog.NewTextHandler(tWriter{t}, nil))
+}
 
 // quickCampaign is the test campaign: the 5-benchmark quick-scale slice of
 // fig10 the shardcheck gate already uses (C(5,4) = 5 combos), cut into
@@ -26,20 +42,25 @@ func quickCampaign(t *testing.T, shards int) Campaign {
 	return c
 }
 
-func newTestServer(t *testing.T, c Campaign, leaseTimeout time.Duration, maxAttempts int) (*Server, *httptest.Server) {
+// newTestServer builds an in-memory daemon already serving campaign c, and
+// returns the campaign's id alongside.
+func newTestServer(t *testing.T, c Campaign, leaseTimeout time.Duration, maxAttempts int) (*Server, *httptest.Server, string) {
 	t.Helper()
 	srv, err := NewServer(ServerOptions{
-		Campaign:     c,
 		LeaseTimeout: leaseTimeout,
 		MaxAttempts:  maxAttempts,
-		Logf:         t.Logf,
+		Logger:       testLogger(t),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := srv.SubmitCampaign(c)
 	if err != nil {
 		t.Fatal(err)
 	}
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(hs.Close)
-	return srv, hs
+	return srv, hs, id
 }
 
 // stubShard fabricates a header-valid shard for protocol-level tests that
@@ -47,33 +68,21 @@ func newTestServer(t *testing.T, c Campaign, leaseTimeout time.Duration, maxAtte
 // the merge accepts (it validates counts and headers, not physics).
 func stubShard(t *testing.T, c Campaign, idx int) experiments.Shard {
 	t.Helper()
-	combos, err := c.Combos()
+	sh, err := fabricateShard(c, idx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lo, hi := experiments.ShardRange(combos, idx, c.ShardTotal)
-	spec, err := c.Spec()
+	return sh
+}
+
+// mustStatus fetches a campaign's status document or fails the test.
+func mustStatus(t *testing.T, srv *Server, id string) Status {
+	t.Helper()
+	st, err := srv.Status(id)
 	if err != nil {
 		t.Fatal(err)
 	}
-	names := make([]string, len(spec.Pool))
-	for i, p := range spec.Pool {
-		names[i] = p.Name
-	}
-	return experiments.Shard{
-		Format:      experiments.ShardFormat,
-		PoolHash:    c.PoolHash,
-		ConfigHash:  c.ConfigHash,
-		Pool:        names,
-		Policy:      spec.Policy.Name(),
-		MixSize:     spec.MixSize,
-		TotalCombos: combos,
-		ComboLo:     lo,
-		ComboHi:     hi,
-		Index:       idx,
-		Total:       c.ShardTotal,
-		Outcomes:    make([]experiments.MixOutcome, hi-lo),
-	}
+	return st
 }
 
 // TestCoordinatorEndToEnd is the acceptance test for the distributed path:
@@ -83,7 +92,7 @@ func stubShard(t *testing.T, c Campaign, idx int) experiments.Shard {
 // single-process Sweep of the same campaign.
 func TestCoordinatorEndToEnd(t *testing.T) {
 	campaign := quickCampaign(t, 3)
-	srv, hs := newTestServer(t, campaign, 250*time.Millisecond, 5)
+	srv, hs, id := newTestServer(t, campaign, 250*time.Millisecond, 5)
 
 	// The crash: lease a shard and abandon it, exactly what a worker dying
 	// mid-simulation looks like to the coordinator.
@@ -94,6 +103,9 @@ func TestCoordinatorEndToEnd(t *testing.T) {
 	}
 	if wu == nil {
 		t.Fatal("no work unit for the first worker")
+	}
+	if wu.CampaignID != id {
+		t.Fatalf("work unit names campaign %q, daemon assigned %q", wu.CampaignID, id)
 	}
 	lostShard := wu.ShardIndex
 
@@ -124,17 +136,17 @@ func TestCoordinatorEndToEnd(t *testing.T) {
 	}
 
 	select {
-	case <-srv.Done():
+	case <-srv.Done(id):
 	default:
 		t.Fatal("workers exited but campaign is not done")
 	}
-	if err := srv.Err(); err != nil {
+	if err := srv.Err(id); err != nil {
 		t.Fatal(err)
 	}
 
 	// The state machine must record the crash: the lost shard went through
 	// at least two dispatch attempts and still completed.
-	st := srv.StatusSnapshot()
+	st := mustStatus(t, srv, id)
 	if st.State != "done" {
 		t.Fatalf("campaign state %q, want done", st.State)
 	}
@@ -153,7 +165,7 @@ func TestCoordinatorEndToEnd(t *testing.T) {
 
 	// Byte-identical equivalence with the sequential sweep, compared
 	// through JSON so every float is checked exactly.
-	merged, err := srv.Report()
+	merged, err := srv.Report(id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +188,7 @@ func TestCoordinatorEndToEnd(t *testing.T) {
 // re-dispatched rather than lost.
 func TestCoordinatorRejectsMisconfiguredWorker(t *testing.T) {
 	campaign := quickCampaign(t, 1)
-	srv, hs := newTestServer(t, campaign, time.Minute, 3)
+	srv, hs, id := newTestServer(t, campaign, time.Minute, 3)
 	cl := Client{BaseURL: hs.URL, Worker: "misconfigured"}
 	ctx := context.Background()
 
@@ -186,7 +198,7 @@ func TestCoordinatorRejectsMisconfiguredWorker(t *testing.T) {
 	}
 	bad := stubShard(t, campaign, 0)
 	bad.ConfigHash = "deadbeefdeadbeef" // e.g. a worker built at a different commit, or run at a different scale
-	res, err := cl.Submit(ctx, wu.LeaseID, bad)
+	res, err := cl.Submit(ctx, wu, bad)
 	if !errors.Is(err, ErrRejected) {
 		t.Fatalf("mis-hashed shard not rejected: res=%+v err=%v", res, err)
 	}
@@ -194,7 +206,7 @@ func TestCoordinatorRejectsMisconfiguredWorker(t *testing.T) {
 		t.Fatalf("rejection does not name the config hash: %q", res.Error)
 	}
 
-	st := srv.StatusSnapshot()
+	st := mustStatus(t, srv, id)
 	if st.CombosCovered != 0 {
 		t.Fatal("rejected shard leaked into the merge")
 	}
@@ -211,11 +223,11 @@ func TestCoordinatorRejectsMisconfiguredWorker(t *testing.T) {
 	if wu2.Attempt != 2 {
 		t.Fatalf("re-dispatch attempt %d, want 2", wu2.Attempt)
 	}
-	res2, err := good.Submit(ctx, wu2.LeaseID, stubShard(t, campaign, 0))
-	if err != nil || !res2.Accepted || !res2.Done {
+	res2, err := good.Submit(ctx, wu2, stubShard(t, campaign, 0))
+	if err != nil || !res2.Accepted || !res2.Done || !res2.CampaignDone {
 		t.Fatalf("valid shard not accepted: res=%+v err=%v", res2, err)
 	}
-	if err := srv.Err(); err != nil {
+	if err := srv.Err(id); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -226,7 +238,7 @@ func TestCoordinatorRejectsMisconfiguredWorker(t *testing.T) {
 // an error or a second merge.
 func TestCoordinatorDuplicateResolution(t *testing.T) {
 	campaign := quickCampaign(t, 2)
-	srv, hs := newTestServer(t, campaign, 50*time.Millisecond, 3)
+	srv, hs, id := newTestServer(t, campaign, 50*time.Millisecond, 3)
 	ctx := context.Background()
 
 	slow := Client{BaseURL: hs.URL, Worker: "straggler"}
@@ -244,13 +256,13 @@ func TestCoordinatorDuplicateResolution(t *testing.T) {
 	if wuFast.ShardIndex != wuSlow.ShardIndex {
 		t.Fatalf("expired shard %d not re-dispatched first (got %d)", wuSlow.ShardIndex, wuFast.ShardIndex)
 	}
-	res, err := fast.Submit(ctx, wuFast.LeaseID, stubShard(t, campaign, wuFast.ShardIndex))
+	res, err := fast.Submit(ctx, wuFast, stubShard(t, campaign, wuFast.ShardIndex))
 	if err != nil || !res.Accepted {
 		t.Fatalf("fast submit: res=%+v err=%v", res, err)
 	}
 
 	// The streaming merge is live before the campaign completes.
-	st := srv.StatusSnapshot()
+	st := mustStatus(t, srv, id)
 	if st.CombosCovered == 0 || st.CombosCovered >= st.TotalCombos {
 		t.Fatalf("partial merge covers %d of %d combos, want strictly between", st.CombosCovered, st.TotalCombos)
 	}
@@ -259,7 +271,7 @@ func TestCoordinatorDuplicateResolution(t *testing.T) {
 	}
 
 	// The straggler finally finishes the same shard: superseded, no error.
-	resDup, err := slow.Submit(ctx, wuSlow.LeaseID, stubShard(t, campaign, wuSlow.ShardIndex))
+	resDup, err := slow.Submit(ctx, wuSlow, stubShard(t, campaign, wuSlow.ShardIndex))
 	if err != nil {
 		t.Fatalf("duplicate submit errored: %v", err)
 	}
@@ -272,11 +284,11 @@ func TestCoordinatorDuplicateResolution(t *testing.T) {
 	if err != nil || wu2 == nil {
 		t.Fatalf("second lease: %v %v", wu2, err)
 	}
-	if _, err := fast.Submit(ctx, wu2.LeaseID, stubShard(t, campaign, wu2.ShardIndex)); err != nil {
+	if _, err := fast.Submit(ctx, wu2, stubShard(t, campaign, wu2.ShardIndex)); err != nil {
 		t.Fatal(err)
 	}
 	select {
-	case <-srv.Done():
+	case <-srv.Done(id):
 	default:
 		t.Fatal("campaign not done after all shards submitted")
 	}
@@ -287,7 +299,7 @@ func TestCoordinatorDuplicateResolution(t *testing.T) {
 // and workers are told to stop (410) rather than spin.
 func TestCoordinatorFailsAfterMaxAttempts(t *testing.T) {
 	campaign := quickCampaign(t, 1)
-	srv, hs := newTestServer(t, campaign, 10*time.Millisecond, 2)
+	srv, hs, id := newTestServer(t, campaign, 10*time.Millisecond, 2)
 	cl := Client{BaseURL: hs.URL, Worker: "doomed"}
 	ctx := context.Background()
 
@@ -309,17 +321,17 @@ func TestCoordinatorFailsAfterMaxAttempts(t *testing.T) {
 		time.Sleep(15 * time.Millisecond) // hold the lease past its deadline
 	}
 	select {
-	case <-srv.Done():
+	case <-srv.Done(id):
 	case <-time.After(time.Second):
 		t.Fatal("campaign did not terminate")
 	}
-	if err := srv.Err(); err == nil || !strings.Contains(err.Error(), "failed after 2 attempts") {
+	if err := srv.Err(id); err == nil || !strings.Contains(err.Error(), "failed after 2 attempts") {
 		t.Fatalf("campaign error %v, want permanent shard failure", err)
 	}
-	if _, err := srv.Report(); err == nil {
+	if _, err := srv.Report(id); err == nil {
 		t.Fatal("failed campaign produced a report")
 	}
-	st := srv.StatusSnapshot()
+	st := mustStatus(t, srv, id)
 	if st.State != "failed" || st.Shards[0].State != "failed" {
 		t.Fatalf("status %s/%s, want failed/failed", st.State, st.Shards[0].State)
 	}
@@ -330,7 +342,7 @@ func TestCoordinatorFailsAfterMaxAttempts(t *testing.T) {
 // the loop exits on campaign completion.
 func TestWorkerLoopAgainstStubRun(t *testing.T) {
 	campaign := quickCampaign(t, 3)
-	srv, hs := newTestServer(t, campaign, time.Minute, 3)
+	srv, hs, id := newTestServer(t, campaign, time.Minute, 3)
 	w := &Worker{
 		Client:  Client{BaseURL: hs.URL, Worker: "stubbed"},
 		Backoff: Backoff{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond},
@@ -342,7 +354,7 @@ func TestWorkerLoopAgainstStubRun(t *testing.T) {
 	if err := w.Loop(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	st := srv.StatusSnapshot()
+	st := mustStatus(t, srv, id)
 	if st.State != "done" {
 		t.Fatalf("campaign state %q after worker loop", st.State)
 	}

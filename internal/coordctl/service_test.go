@@ -1,0 +1,444 @@
+package coordctl
+
+import (
+	"context"
+	"crypto/tls"
+	"encoding/json"
+	"encoding/pem"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestServiceRestartResume is the service gate the issue names: a
+// coordinator killed mid-campaign and restarted from its journal must
+// resume — the accepted shard is never re-leased or recomputed — and the
+// final merged report must be byte-identical to the single-process Sweep.
+func TestServiceRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	campaign := quickCampaign(t, 3)
+
+	// Phase 1: a coordinator accepts one real shard, then dies.
+	srv1, err := NewServer(ServerOptions{StateDir: dir, LeaseTimeout: time.Minute, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := srv1.SubmitCampaign(campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := httptest.NewServer(srv1.Handler())
+	cl := Client{BaseURL: hs1.URL, Worker: "phase1"}
+	ctx := context.Background()
+	wu, err := cl.Lease(ctx)
+	if err != nil || wu == nil {
+		t.Fatalf("phase-1 lease: %v %v", wu, err)
+	}
+	cfg := wu.Campaign.Config()
+	cfg.ShardIndex, cfg.ShardTotal = wu.ShardIndex, wu.Campaign.ShardTotal
+	spec, err := wu.Campaign.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := cfg.RunShard(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.Worker, sh.Attempt = cl.Worker, wu.Attempt
+	if res, err := cl.Submit(ctx, wu, sh); err != nil || !res.Accepted {
+		t.Fatalf("phase-1 submit: res=%+v err=%v", res, err)
+	}
+	doneIdx := wu.ShardIndex
+	// A second lease is outstanding when the coordinator dies — the crash
+	// must not resurrect it as accepted state.
+	if wu2, err := cl.Lease(ctx); err != nil || wu2 == nil {
+		t.Fatalf("phase-1 second lease: %v %v", wu2, err)
+	}
+	hs1.Close()
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: a fresh process over the same state dir resumes the campaign.
+	srv2, err := NewServer(ServerOptions{StateDir: dir, LeaseTimeout: time.Minute, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	id2, adopted, err := srv2.AdoptOrSubmit(campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adopted || id2 != id {
+		t.Fatalf("restart adopted=%v id=%s, want adoption of %s", adopted, id2, id)
+	}
+	st, err := srv2.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Shards[doneIdx]; got.State != "done" || got.Worker != "phase1" {
+		t.Fatalf("replayed shard %d: %+v, want done by phase1", doneIdx, got)
+	}
+
+	// Real workers drain the remaining shards against the resumed daemon.
+	hs2 := httptest.NewServer(srv2.Handler())
+	defer hs2.Close()
+	w := &Worker{
+		Client:  Client{BaseURL: hs2.URL, Worker: "phase2"},
+		Workers: 1,
+		Backoff: Backoff{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond},
+		Logf:    t.Logf,
+	}
+	loopCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	if err := w.Loop(loopCtx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-srv2.Done(id):
+	default:
+		t.Fatal("campaign not done after resume")
+	}
+	if err := srv2.Err(id); err != nil {
+		t.Fatal(err)
+	}
+
+	// No accepted shard recomputed: the resumed daemon granted exactly the
+	// two outstanding shards, and the journal holds each shard once.
+	if ctr := srv2.CountersSnapshot(); ctr.LeasesGranted != 2 {
+		t.Fatalf("resumed daemon granted %d leases, want 2 (accepted shard must not be re-leased)", ctr.LeasesGranted)
+	}
+	recs, err := ReadJournal(JournalPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perShard := map[int]int{}
+	for _, rec := range recs {
+		if rec.Kind == recordShard {
+			perShard[rec.Shard.Index]++
+		}
+	}
+	for idx, n := range perShard {
+		if n != 1 {
+			t.Fatalf("journal holds %d records for shard %d", n, idx)
+		}
+	}
+
+	// Byte-identical to the uninterrupted single-process sweep.
+	merged, err := srv2.Report(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := campaign.Config().Sweep(spec.Pool, spec.Policy, spec.MixSize, spec.Virt)
+	da, _ := json.Marshal(direct)
+	db, _ := json.Marshal(merged)
+	if string(da) != string(db) {
+		t.Fatalf("resumed report differs from sequential sweep:\ndirect: %s\nmerged: %s", da, db)
+	}
+}
+
+// TestCoordinatorAuth pins the token contract: no token → 401 everywhere
+// protected; worker token → worker plane only; admin token → everything.
+// The worker loop treats 401 as fatal rather than a transport failure.
+func TestCoordinatorAuth(t *testing.T) {
+	campaign := quickCampaign(t, 2)
+	srv, err := NewServer(ServerOptions{
+		WorkerToken: "worker-secret",
+		AdminToken:  "admin-secret",
+		Logger:      testLogger(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.SubmitCampaign(campaign); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	ctx := context.Background()
+
+	anon := Client{BaseURL: hs.URL, Worker: "anon"}
+	if _, err := anon.Lease(ctx); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("anonymous lease err=%v, want ErrUnauthorized", err)
+	}
+	wrong := Client{BaseURL: hs.URL, Worker: "wrong", Token: "worker-secret-but-longer"}
+	if _, err := wrong.Lease(ctx); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("wrong-token lease err=%v, want ErrUnauthorized", err)
+	}
+
+	worker := Client{BaseURL: hs.URL, Worker: "w", Token: "worker-secret"}
+	wu, err := worker.Lease(ctx)
+	if err != nil || wu == nil {
+		t.Fatalf("worker-token lease: %v %v", wu, err)
+	}
+	// The worker token does not open the admin plane.
+	if _, err := worker.SubmitCampaign(ctx, CampaignRequest{Figure: "fig10", Quick: true, Shards: 1}); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("worker token submitted a campaign: err=%v", err)
+	}
+	if err := worker.CancelCampaign(ctx, "c1"); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("worker token cancelled a campaign: err=%v", err)
+	}
+
+	// The admin token works on both planes.
+	admin := Client{BaseURL: hs.URL, Worker: "a", Token: "admin-secret"}
+	if _, err := admin.Campaigns(ctx); err != nil {
+		t.Fatalf("admin token refused on worker plane: %v", err)
+	}
+	if err := admin.CancelCampaign(ctx, "c1"); err != nil {
+		t.Fatalf("admin cancel: %v", err)
+	}
+
+	// A worker loop with a bad token dies fast (fatal), not after burning
+	// the whole transport-failure budget.
+	bad := &Worker{
+		Client:      Client{BaseURL: hs.URL, Worker: "intruder", Token: "nope"},
+		Backoff:     Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+		MaxFailures: 1000,
+		Logf:        t.Logf,
+	}
+	if err := bad.Loop(ctx); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("bad-token worker loop err=%v, want ErrUnauthorized", err)
+	}
+
+	if ctr := srv.CountersSnapshot(); ctr.AuthFailures < 4 {
+		t.Fatalf("auth failures counter %d, want >= 4", ctr.AuthFailures)
+	}
+}
+
+// TestCoordinatorTLS covers the encrypted deployment: a worker trusting the
+// daemon's (self-signed) certificate via TLSConfigFromCA talks normally; a
+// worker without the CA refuses the connection.
+func TestCoordinatorTLS(t *testing.T) {
+	campaign := quickCampaign(t, 1)
+	srv, err := NewServer(ServerOptions{WorkerToken: "s", Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.SubmitCampaign(campaign); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewTLSServer(srv.Handler())
+	defer hs.Close()
+
+	caPath := filepath.Join(t.TempDir(), "ca.pem")
+	caPEM := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: hs.Certificate().Raw})
+	if err := os.WriteFile(caPath, caPEM, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tlsCfg, err := TLSConfigFromCA(caPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	trusting := Client{BaseURL: hs.URL, Worker: "secure", Token: "s", TLS: tlsCfg}
+	wu, err := trusting.Lease(ctx)
+	if err != nil || wu == nil {
+		t.Fatalf("TLS lease: %v %v", wu, err)
+	}
+	if res, err := trusting.Submit(ctx, wu, stubShard(t, campaign, wu.ShardIndex)); err != nil || !res.Accepted {
+		t.Fatalf("TLS submit: res=%+v err=%v", res, err)
+	}
+
+	doubting := Client{BaseURL: hs.URL, Worker: "doubter", Token: "s", TLS: &tls.Config{}}
+	if _, err := doubting.Lease(ctx); err == nil {
+		t.Fatal("client without the CA connected to a self-signed daemon")
+	}
+}
+
+// TestCampaignAPI drives the REST lifecycle end to end: submit over HTTP,
+// list, per-campaign status, cancel — with two tenants sharing the daemon
+// and the worker fleet flowing to the surviving campaign.
+func TestCampaignAPI(t *testing.T) {
+	srv, err := NewServer(ServerOptions{LeaseTimeout: time.Minute, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	ctx := context.Background()
+	cl := Client{BaseURL: hs.URL, Worker: "api"}
+
+	// An idle daemon tells pollers to retry (204), not to quit (410): the
+	// fleet may be started before the first campaign is submitted.
+	if wu, err := cl.Lease(ctx); err != nil || wu != nil {
+		t.Fatalf("lease against empty daemon: %v %v, want nil/nil", wu, err)
+	}
+
+	pool := []string{"povray", "gobmk", "hmmer", "libquantum", "sjeng"}
+	c1, err := cl.SubmitCampaign(ctx, CampaignRequest{Figure: "fig10", Quick: true, Pool: pool, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := cl.SubmitCampaign(ctx, CampaignRequest{Figure: "fig11", Quick: true, Pool: pool, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.ID == c2.ID {
+		t.Fatalf("both campaigns got id %s", c1.ID)
+	}
+	list, err := cl.Campaigns(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0].ID != c1.ID || list[1].ID != c2.ID {
+		t.Fatalf("campaign list %+v, want [%s %s]", list, c1.ID, c2.ID)
+	}
+	st, err := cl.Status(ctx, c2.ID)
+	if err != nil || st.ID != c2.ID || st.Figure != "fig11" {
+		t.Fatalf("status of %s: %+v err=%v", c2.ID, st, err)
+	}
+
+	// A bogus submission names no campaign on a multi-tenant daemon: 422.
+	if _, err := cl.SubmitCampaign(ctx, CampaignRequest{Figure: "nope", Shards: 1}); err == nil {
+		t.Fatal("bogus figure accepted")
+	}
+
+	// Leases drain campaigns in submission order; cancelling the first
+	// moves the fleet to the second.
+	wu, err := cl.Lease(ctx)
+	if err != nil || wu == nil || wu.CampaignID != c1.ID {
+		t.Fatalf("first lease %+v err=%v, want campaign %s", wu, err, c1.ID)
+	}
+	if err := cl.CancelCampaign(ctx, c1.ID); err != nil {
+		t.Fatal(err)
+	}
+	// The in-flight result of the cancelled campaign drains as superseded.
+	res, err := cl.Submit(ctx, wu, stubShard(t, mustCampaign(t, c1.Campaign), wu.ShardIndex))
+	if err != nil || !res.Superseded || res.Done {
+		t.Fatalf("submit to cancelled campaign: res=%+v err=%v, want superseded and not done", res, err)
+	}
+	wu2, err := cl.Lease(ctx)
+	if err != nil || wu2 == nil || wu2.CampaignID != c2.ID {
+		t.Fatalf("post-cancel lease %+v err=%v, want campaign %s", wu2, err, c2.ID)
+	}
+	res2, err := cl.Submit(ctx, wu2, stubShard(t, wu2.Campaign, wu2.ShardIndex))
+	if err != nil || !res2.Accepted || !res2.CampaignDone || !res2.Done {
+		t.Fatalf("final submit: res=%+v err=%v, want accepted + campaign done + service idle", res2, err)
+	}
+	// Everything terminal: the fleet is told to stand down.
+	if _, err := cl.Lease(ctx); !errors.Is(err, ErrCampaignDone) {
+		t.Fatalf("lease with all campaigns terminal: %v, want ErrCampaignDone", err)
+	}
+	list, err = cl.Campaigns(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list[0].State != "cancelled" || list[1].State != "done" {
+		t.Fatalf("terminal states %s/%s, want cancelled/done", list[0].State, list[1].State)
+	}
+}
+
+// mustCampaign round-trips the created campaign (the API echoes the resolved
+// spec, fingerprints included) so tests can fabricate valid shards for it.
+func mustCampaign(t *testing.T, c Campaign) Campaign {
+	t.Helper()
+	if c.PoolHash == "" || c.ConfigHash == "" {
+		t.Fatalf("API returned a campaign without fingerprints: %+v", c)
+	}
+	return c
+}
+
+// TestCancelPersistsAcrossRestart: a cancellation is journaled, so the
+// restarted daemon does not resurrect the campaign's leases.
+func TestCancelPersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	campaign := quickCampaign(t, 2)
+	srv, err := NewServer(ServerOptions{StateDir: dir, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := srv.SubmitCampaign(campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.CancelCampaign(id); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	srv2, err := NewServer(ServerOptions{StateDir: dir, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	st, err := srv2.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "cancelled" {
+		t.Fatalf("restarted campaign state %q, want cancelled", st.State)
+	}
+	// And a fresh one-shot run of the same campaign starts over rather than
+	// adopting the cancelled corpse.
+	id2, adopted, err := srv2.AdoptOrSubmit(campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adopted || id2 == id {
+		t.Fatalf("AdoptOrSubmit adopted the cancelled campaign %s", id2)
+	}
+}
+
+// TestWorkerFailureBudgetResetsOnContact pins the flaky-network fix: the
+// give-up counter counts CONSECUTIVE failures, so a network dropping every
+// other request — far more total failures than the budget — must never kill
+// the worker, while a genuinely dead coordinator still does.
+func TestWorkerFailureBudgetResetsOnContact(t *testing.T) {
+	srv, err := NewServer(ServerOptions{Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1)%2 == 1 {
+			http.Error(w, "injected fault", http.StatusInternalServerError)
+			return
+		}
+		srv.Handler().ServeHTTP(w, r) // no campaigns → 204, a successful poll
+	}))
+	defer flaky.Close()
+
+	w := &Worker{
+		Client:      Client{BaseURL: flaky.URL, Worker: "flaky"},
+		Backoff:     Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+		MaxFailures: 3,
+		Logf:        t.Logf,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	err = w.Loop(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("flaky-network loop err=%v after %d calls, want to outlive the budget until ctx expiry", err, calls.Load())
+	}
+	if n := calls.Load(); n < 12 {
+		t.Fatalf("only %d calls in the flaky window; the loop died early", n)
+	}
+}
+
+// TestCoordinatorLoadSmoke is the CI load gate: ~50 concurrent fake workers
+// hammer one journaled daemon; the harness itself fails the run if any lease
+// double-resolves or the /metrics counters do not reconcile with the
+// journal.
+func TestCoordinatorLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke skipped in -short")
+	}
+	res, err := LoadSmoke(LoadSmokeOptions{Workers: 50, Shards: 64, WorkerToken: "smoke"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("load smoke: %d workers, %d shards, %.0f lease req/s, lease p99 %.0fµs, submit p99 %.0fµs, journal %d B",
+		res.Workers, res.Shards, res.LeasesPerSec, res.LeaseP99Micros, res.SubmitP99Micros, res.JournalBytes)
+	if res.LeasesPerSec <= 0 || res.JournalShardRecords != res.Shards {
+		t.Fatalf("implausible smoke result: %+v", res)
+	}
+	if res.Counters.LeasesGranted < int64(res.Shards) {
+		t.Fatalf("%d leases granted for %d shards", res.Counters.LeasesGranted, res.Shards)
+	}
+}
