@@ -41,6 +41,12 @@ type JournalRecord struct {
 	// resumed campaign validates workers against the original content even
 	// if the trace directory has changed since.
 	Spec *Campaign `json:"spec,omitempty"`
+	// Combos is the campaign's combination-space size, resolved at
+	// submission time (kind "campaign" only). Replay sizes the resumed
+	// campaign from this value instead of re-resolving the pool, so a trace
+	// campaign restarts even when its trace directory has moved or changed
+	// since — the journal, not the environment, is the source of truth.
+	Combos int `json:"combos,omitempty"`
 	// Shard is the accepted shard, outcomes included (kind "shard" only) —
 	// the journal is the durable copy of the merge, not just an index of it.
 	Shard *experiments.Shard `json:"shard,omitempty"`

@@ -74,14 +74,16 @@ func newLeaseTable(shards int, timeout time.Duration, maxAttempts int) *leaseTab
 
 // expire requeues every leased shard whose deadline has passed — the
 // straggler re-dispatch path — failing those that already burned their
-// attempt budget. It returns the indices it moved so the server can log.
-func (t *leaseTable) expire(now time.Time) (requeued, failed []int) {
+// attempt budget. It returns the indices it moved so the server can log,
+// and the lease ids it invalidated so the server can forget them.
+func (t *leaseTable) expire(now time.Time) (requeued, failed []int, released []string) {
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.state != stateLeased || now.Before(e.deadline) {
 			continue
 		}
 		e.lastErr = fmt.Sprintf("lease %s to %s expired after %v (attempt %d)", e.leaseID, e.worker, t.timeout, e.attempts)
+		released = append(released, e.leaseID)
 		e.leaseID = ""
 		if e.attempts >= t.maxAttempts {
 			e.state = stateFailed
@@ -91,7 +93,7 @@ func (t *leaseTable) expire(now time.Time) (requeued, failed []int) {
 			requeued = append(requeued, i)
 		}
 	}
-	return requeued, failed
+	return requeued, failed, released
 }
 
 // lease grants the lowest-indexed pending shard to the worker, or returns

@@ -47,8 +47,11 @@ type ServerOptions struct {
 	// reads). The admin token is accepted there too.
 	WorkerToken string
 	// AdminToken, when set, is the bearer token required to submit or
-	// cancel campaigns. When only WorkerToken is set, it guards the admin
-	// plane as well, so configuring one token never leaves mutations open.
+	// cancel campaigns. The fallback is symmetric: with only WorkerToken
+	// set, it guards the admin plane as well, and with only AdminToken set,
+	// it guards the worker plane as well — configuring one token never
+	// leaves any mutating endpoint (campaign submit/cancel, lease, shard
+	// submit) open.
 	AdminToken string
 	// Clock is a test hook (default time.Now).
 	Clock func() time.Time
@@ -75,7 +78,8 @@ type Server struct {
 	journal   *Journal
 	ctr       Counters
 	start     time.Time
-	seq       int // campaign id sequence (c1, c2, ...)
+	seq       int  // campaign id sequence (c1, c2, ...)
+	replaying bool // true while replay() drives the state machine
 }
 
 // campaignState is one campaign's bookkeeping behind the server mutex.
@@ -147,7 +151,11 @@ func NewServer(opts ServerOptions) (*Server, error) {
 // replay rebuilds in-memory state from journal records. Shard records that
 // no longer apply (unknown campaign, already-done shard, failed validation)
 // are logged and skipped rather than double-counted — replay is idempotent.
+// The replaying flag keeps the monotonic event counters (and completion
+// logs) from re-counting events that happened in a previous process.
 func (s *Server) replay(recs []JournalRecord) error {
+	s.replaying = true
+	defer func() { s.replaying = false }()
 	for _, rec := range recs {
 		switch rec.Kind {
 		case recordCampaign:
@@ -158,7 +166,7 @@ func (s *Server) replay(recs []JournalRecord) error {
 				s.opts.Logger.Warn("journal: duplicate campaign record skipped", "campaign", rec.Campaign)
 				continue
 			}
-			if _, err := s.registerCampaign(rec.Campaign, *rec.Spec); err != nil {
+			if _, err := s.registerCampaign(rec.Campaign, *rec.Spec, rec.Combos); err != nil {
 				return fmt.Errorf("coordctl: replaying campaign %s: %w", rec.Campaign, err)
 			}
 			if n, err := strconv.Atoi(strings.TrimPrefix(rec.Campaign, "c")); err == nil && n > s.seq {
@@ -202,17 +210,22 @@ func (s *Server) replay(recs []JournalRecord) error {
 }
 
 // registerCampaign installs a campaign under id. Caller holds the lock (or
-// is NewServer, before the server is shared).
-func (s *Server) registerCampaign(id string, c Campaign) (*campaignState, error) {
+// is NewServer, before the server is shared). A positive combos is trusted
+// as the campaign's combination-space size — the replay path, where the
+// journaled value must win over whatever the trace directory looks like
+// now; combos <= 0 resolves it from the live pool (the submission path).
+func (s *Server) registerCampaign(id string, c Campaign, combos int) (*campaignState, error) {
 	if c.PoolHash == "" || c.ConfigHash == "" {
 		return nil, fmt.Errorf("coordctl: campaign fingerprints missing (build the campaign with NewCampaign)")
 	}
 	if c.ShardTotal < 1 {
 		return nil, fmt.Errorf("coordctl: campaign needs at least 1 shard")
 	}
-	combos, err := c.Combos()
-	if err != nil {
-		return nil, err
+	if combos <= 0 {
+		var err error
+		if combos, err = c.Combos(); err != nil {
+			return nil, err
+		}
 	}
 	if c.ShardTotal > combos {
 		return nil, fmt.Errorf("coordctl: %d shards over %d combos leaves empty shards", c.ShardTotal, combos)
@@ -246,18 +259,30 @@ func (s *Server) registerCampaign(id string, c Campaign) (*campaignState, error)
 
 // SubmitCampaign accepts a campaign (built with NewCampaign), journals it,
 // and starts serving its leases. It returns the assigned campaign id.
+// Validation runs before the journal write: a campaign the server refuses
+// never reaches the journal (an invalid journaled spec would make every
+// later restart fail its replay), and a journal write that fails rolls the
+// in-memory registration back so the daemon never serves leases it would
+// forget on restart.
 func (s *Server) SubmitCampaign(c Campaign) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	id := fmt.Sprintf("c%d", s.seq+1)
-	if s.journal != nil {
-		if err := s.journal.Append(JournalRecord{Kind: recordCampaign, Campaign: id, Spec: &c}); err != nil {
-			return "", err
-		}
-	}
-	cs, err := s.registerCampaign(id, c)
+	preCorpora := len(s.corpora)
+	cs, err := s.registerCampaign(id, c, 0)
 	if err != nil {
 		return "", err
+	}
+	if s.journal != nil {
+		if err := s.journal.Append(JournalRecord{Kind: recordCampaign, Campaign: id, Spec: &c, Combos: cs.combos}); err != nil {
+			delete(s.campaigns, id)
+			s.order = s.order[:len(s.order)-1]
+			if len(s.corpora) > preCorpora {
+				s.corpora = s.corpora[:preCorpora]
+				delete(s.corpusDir, c.TraceDir)
+			}
+			return "", err
+		}
 	}
 	s.seq++
 	s.ctr.CampaignsSubmitted++
@@ -328,10 +353,25 @@ func (s *Server) cancelLocked(cs *campaignState) {
 	}
 	cs.state = "cancelled"
 	cs.failure = ErrCampaignCancelled
-	s.ctr.CampaignsCancelled++
+	s.pruneLeasesLocked(cs.id)
 	close(cs.done)
+	if s.replaying {
+		return // a restored cancellation is not a new per-process event
+	}
+	s.ctr.CampaignsCancelled++
 	s.opts.Logger.Info("campaign cancelled", "campaign", cs.id, "figure", cs.c.Figure,
 		"leases_released", released, "combos_merged", cs.merger.Covered())
+}
+
+// pruneLeasesLocked forgets every lease-resolution entry of a campaign that
+// reached a terminal state. Without it the lease map would grow for the
+// daemon's whole lifetime, one entry per lease ever granted.
+func (s *Server) pruneLeasesLocked(id string) {
+	for lid, cid := range s.leases {
+		if cid == id {
+			delete(s.leases, lid)
+		}
+	}
 }
 
 // Close releases the journal. In-flight handlers finish normally; every
@@ -473,9 +513,11 @@ func (s *Server) protect(admin bool, h http.HandlerFunc) http.HandlerFunc {
 // authorized checks the request's bearer token against the configured
 // tokens. The admin token is accepted everywhere; the worker token only on
 // the worker plane. With no tokens configured the server is open (trusted
-// network, the pre-daemon behaviour); with only a worker token configured,
-// that token guards the admin plane too, so one-token deployments never
-// leave campaign mutation open.
+// network, the pre-daemon behaviour). One-token deployments fall back
+// symmetrically: a lone worker token guards the admin plane and a lone
+// admin token guards the worker plane, so configuring either token never
+// leaves the other plane's mutations (campaign submit/cancel on one side,
+// lease and shard submit on the other) open.
 func (s *Server) authorized(r *http.Request, admin bool) bool {
 	workerTok, adminTok := s.opts.WorkerToken, s.opts.AdminToken
 	var accepted []string
@@ -489,10 +531,14 @@ func (s *Server) authorized(r *http.Request, admin bool) bool {
 			return true
 		}
 	} else {
-		if workerTok == "" {
+		switch {
+		case workerTok != "":
+			accepted = []string{workerTok, adminTok}
+		case adminTok != "":
+			accepted = []string{adminTok}
+		default:
 			return true
 		}
-		accepted = []string{workerTok, adminTok}
 	}
 	got := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
 	ok := false
@@ -524,7 +570,10 @@ func (s *Server) sweepExpiryLocked(now time.Time) {
 		if !cs.running() {
 			continue
 		}
-		requeued, failed := cs.table.expire(now)
+		requeued, failed, released := cs.table.expire(now)
+		for _, lid := range released {
+			delete(s.leases, lid)
+		}
 		s.ctr.Redispatches += int64(len(requeued))
 		for _, i := range requeued {
 			s.opts.Logger.Info("lease expired, shard re-dispatching",
@@ -549,18 +598,24 @@ func (s *Server) checkTerminal(cs *campaignState) {
 	if e := cs.table.firstFailed(); e != nil {
 		cs.failure = fmt.Errorf("coordctl: shard %d failed after %d attempts: %s", e.index, e.attempts, e.lastErr)
 		cs.state = "failed"
-		s.ctr.CampaignsFailed++
+		s.pruneLeasesLocked(cs.id)
 		close(cs.done)
-		s.opts.Logger.Error("campaign failed", "campaign", cs.id, "figure", cs.c.Figure, "err", cs.failure)
+		if !s.replaying {
+			s.ctr.CampaignsFailed++
+			s.opts.Logger.Error("campaign failed", "campaign", cs.id, "figure", cs.c.Figure, "err", cs.failure)
+		}
 		return
 	}
 	if cs.table.allDone() && cs.merger.Complete() {
 		cs.state = "done"
-		s.ctr.CampaignsDone++
+		s.pruneLeasesLocked(cs.id)
 		close(cs.done)
-		s.opts.Logger.Info("campaign complete",
-			"campaign", cs.id, "figure", cs.c.Figure, "combos", cs.combos,
-			"elapsed", s.opts.Clock().Sub(cs.start).Seconds())
+		if !s.replaying {
+			s.ctr.CampaignsDone++
+			s.opts.Logger.Info("campaign complete",
+				"campaign", cs.id, "figure", cs.c.Figure, "combos", cs.combos,
+				"elapsed", s.opts.Clock().Sub(cs.start).Seconds())
+		}
 	}
 }
 
@@ -690,6 +745,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if e.state == stateDone {
 		// First valid result won; a straggler's duplicate is discarded.
+		delete(s.leases, leaseID)
 		s.ctr.SubmitsSuperseded++
 		s.opts.Logger.Info("duplicate shard discarded",
 			"campaign", cs.id, "shard", sh.Index, "worker", sh.Worker, "lease", leaseID)
@@ -697,6 +753,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.validate(cs, sh); err != nil {
+		delete(s.leases, leaseID)
 		s.ctr.SubmitsRejected++
 		s.opts.Logger.Warn("shard rejected",
 			"campaign", cs.id, "shard", sh.Index, "worker", sh.Worker, "err", err)
@@ -724,6 +781,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := cs.merger.Add(sh); err != nil {
+		delete(s.leases, leaseID)
 		s.ctr.SubmitsRejected++
 		s.opts.Logger.Warn("shard failed streaming merge",
 			"campaign", cs.id, "shard", sh.Index, "err", err)
@@ -732,6 +790,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSONStatus(w, http.StatusUnprocessableEntity, SubmitResult{Error: err.Error()})
 		return
 	}
+	delete(s.leases, leaseID)
 	e.state = stateDone
 	e.worker = sh.Worker
 	e.elapsed = sh.ElapsedSeconds

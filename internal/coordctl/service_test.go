@@ -210,6 +210,218 @@ func TestCoordinatorAuth(t *testing.T) {
 	}
 }
 
+// TestAdminTokenOnlyGuardsWorkerPlane pins the symmetric one-token
+// fallback: a daemon configured with only an admin token must not leave the
+// state-mutating worker plane (lease, shard submit) open to anonymous
+// callers — the admin token is required there too.
+func TestAdminTokenOnlyGuardsWorkerPlane(t *testing.T) {
+	campaign := quickCampaign(t, 1)
+	srv, err := NewServer(ServerOptions{AdminToken: "admin-secret", Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.SubmitCampaign(campaign); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	ctx := context.Background()
+
+	anon := Client{BaseURL: hs.URL, Worker: "anon"}
+	if _, err := anon.Lease(ctx); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("anonymous lease on an admin-token-only daemon: err=%v, want ErrUnauthorized", err)
+	}
+	if _, err := anon.Submit(ctx, &WorkUnit{CampaignID: "c1"}, stubShard(t, campaign, 0)); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("anonymous submit on an admin-token-only daemon: err=%v, want ErrUnauthorized", err)
+	}
+	admin := Client{BaseURL: hs.URL, Worker: "a", Token: "admin-secret"}
+	if wu, err := admin.Lease(ctx); err != nil || wu == nil {
+		t.Fatalf("admin token refused on worker plane: %v %v", wu, err)
+	}
+}
+
+// TestRejectedCampaignNotJournaled pins the validate-before-journal order:
+// a submission the server refuses (here: more shards than combos) must not
+// reach the journal — a journaled invalid spec would make every later
+// restart fail its replay — and must not burn the campaign id sequence.
+func TestRejectedCampaignNotJournaled(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := NewServer(ServerOptions{StateDir: dir, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fig10 quick over 5 benchmarks has C(5,4) = 5 combos; a million shards
+	// cannot tile it.
+	if _, err := srv.SubmitCampaign(quickCampaign(t, 1_000_000)); err == nil {
+		t.Fatal("oversharded campaign accepted")
+	}
+	id, err := srv.SubmitCampaign(quickCampaign(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "c1" {
+		t.Fatalf("valid campaign got id %s, want c1 (a rejection must not burn the sequence)", id)
+	}
+	srv.Close()
+
+	srv2, err := NewServer(ServerOptions{StateDir: dir, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatalf("restart after a rejected submission: %v", err)
+	}
+	defer srv2.Close()
+	if got := srv2.Campaigns(); len(got) != 1 || got[0].ID != id || got[0].State != "running" {
+		t.Fatalf("restarted campaigns %+v, want just %s running", got, id)
+	}
+}
+
+// TestReplaySurvivesMissingTraceDir pins the journaled-combos contract: a
+// trace campaign must resume from its journal even when the trace directory
+// is gone at restart — the journal, not the live filesystem, sizes the
+// combination space (only /trace serving degrades, which registerCampaign
+// already tolerates).
+func TestReplaySurvivesMissingTraceDir(t *testing.T) {
+	traceDir := filepath.Join(t.TempDir(), "traces")
+	if err := os.MkdirAll(traceDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeCorpusDir(t, traceDir)
+	campaign, err := NewCampaign("fig10", true, 0, nil, traceDir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	srv, err := NewServer(ServerOptions{StateDir: dir, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := srv.SubmitCampaign(campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combos := mustStatus(t, srv, id).TotalCombos
+	srv.Close()
+
+	if err := os.RemoveAll(traceDir); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewServer(ServerOptions{StateDir: dir, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatalf("restart without the trace dir: %v", err)
+	}
+	defer srv2.Close()
+	st := mustStatus(t, srv2, id)
+	if st.State != "running" || st.TotalCombos != combos {
+		t.Fatalf("resumed trace campaign state=%s combos=%d, want running with %d combos", st.State, st.TotalCombos, combos)
+	}
+}
+
+// TestReplayDoesNotInflateCounters: the /metrics counters are per-process
+// event counts, so replaying a journal of past completions and
+// cancellations must leave them at zero while still restoring the terminal
+// campaign states.
+func TestReplayDoesNotInflateCounters(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := NewServer(ServerOptions{StateDir: dir, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finished := quickCampaign(t, 1)
+	idDone, err := srv.SubmitCampaign(finished)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	ctx := context.Background()
+	cl := Client{BaseURL: hs.URL, Worker: "once"}
+	wu, err := cl.Lease(ctx)
+	if err != nil || wu == nil {
+		t.Fatalf("lease: %v %v", wu, err)
+	}
+	if res, err := cl.Submit(ctx, wu, stubShard(t, finished, wu.ShardIndex)); err != nil || !res.Accepted {
+		t.Fatalf("submit: res=%+v err=%v", res, err)
+	}
+	idGone, err := srv.SubmitCampaign(quickCampaign(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.CancelCampaign(idGone); err != nil {
+		t.Fatal(err)
+	}
+	hs.Close()
+	if ctr := srv.CountersSnapshot(); ctr.CampaignsDone != 1 || ctr.CampaignsCancelled != 1 {
+		t.Fatalf("first-process counters %+v, want 1 done and 1 cancelled", ctr)
+	}
+	srv.Close()
+
+	srv2, err := NewServer(ServerOptions{StateDir: dir, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if ctr := srv2.CountersSnapshot(); ctr.CampaignsDone != 0 || ctr.CampaignsCancelled != 0 || ctr.CampaignsFailed != 0 || ctr.SubmitsAccepted != 0 {
+		t.Fatalf("replay inflated counters: %+v, want all zero after restart", ctr)
+	}
+	if st := mustStatus(t, srv2, idDone); st.State != "done" {
+		t.Fatalf("restored campaign %s state %q, want done", idDone, st.State)
+	}
+	if st := mustStatus(t, srv2, idGone); st.State != "cancelled" {
+		t.Fatalf("restored campaign %s state %q, want cancelled", idGone, st.State)
+	}
+}
+
+// TestLeaseMapPruned pins the lease-map lifecycle: the daemon's lease →
+// campaign resolution map must not grow for the process lifetime — entries
+// die with their lease (expiry, accepted or rejected submission) and a
+// terminal campaign prunes whatever it still holds.
+func TestLeaseMapPruned(t *testing.T) {
+	campaign := quickCampaign(t, 2)
+	srv, hs, id := newTestServer(t, campaign, 50*time.Millisecond, 5)
+	ctx := context.Background()
+	cl := Client{BaseURL: hs.URL, Worker: "pruned"}
+
+	leases := func() int {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		return len(srv.leases)
+	}
+
+	// An expired lease's entry dies at the next sweep.
+	if wu, err := cl.Lease(ctx); err != nil || wu == nil {
+		t.Fatalf("lease: %v %v", wu, err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	mustStatus(t, srv, id) // any handler sweeps expiry
+	if n := leases(); n != 0 {
+		t.Fatalf("%d lease entries after expiry sweep, want 0", n)
+	}
+
+	// Accepted submissions release their entries as the campaign drains,
+	// and the terminal campaign leaves the map empty.
+	for {
+		wu, err := cl.Lease(ctx)
+		if errors.Is(err, ErrCampaignDone) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wu == nil {
+			continue
+		}
+		if res, err := cl.Submit(ctx, wu, stubShard(t, campaign, wu.ShardIndex)); err != nil || !res.Accepted {
+			t.Fatalf("submit: res=%+v err=%v", res, err)
+		}
+	}
+	select {
+	case <-srv.Done(id):
+	default:
+		t.Fatal("campaign not done after draining")
+	}
+	if n := leases(); n != 0 {
+		t.Fatalf("%d lease entries after the campaign completed, want 0", n)
+	}
+}
+
 // TestCoordinatorTLS covers the encrypted deployment: a worker trusting the
 // daemon's (self-signed) certificate via TLSConfigFromCA talks normally; a
 // worker without the CA refuses the connection.
