@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci lint vet build test race shardcheck tracecheck sigcheck servicecheck benchsmoke allocbench sigbench tracebench servicebench benchgate bench clean
+.PHONY: ci lint vet build test race shardcheck tracecheck sigcheck servicecheck churncheck benchsmoke allocbench sigbench tracebench servicebench churnbench benchgate bench clean
 
-ci: lint build race shardcheck tracecheck sigcheck servicecheck benchsmoke allocbench sigbench tracebench servicebench
+ci: lint build race shardcheck tracecheck sigcheck servicecheck churncheck benchsmoke allocbench sigbench tracebench servicebench churnbench
 
 # Style gate: gofmt must be clean, vet must pass, and staticcheck runs when
 # the host has it (CI and dev boxes without it still get the first two).
@@ -81,6 +81,21 @@ sigcheck:
 servicecheck:
 	$(GO) test -count=1 -run 'TestJournal|TestServiceRestartResume|TestCoordinatorAuth|TestCoordinatorTLS|TestCampaignAPI|TestCancelPersistsAcrossRestart|TestWorkerFailureBudgetResetsOnContact|TestCoordinatorLoadSmoke' ./internal/coordctl
 
+# The churn contract, uncached: incremental insert/remove/age on the sparse
+# graph stays parity-exact with a fresh Builder build (fuzz seed corpus +
+# shadow-map unit tests), repaired partitions keep the ±1 balance envelope
+# and exact cut bookkeeping over the live population, the monitor's
+# per-thread state shrinks and regrows with the thread population (reused
+# IDs inherit nothing), the Snapshotter releases a burst's backing after the
+# population stays small, lazy aging matches eager decay, and a seeded
+# arrival/departure campaign — both Poisson and trace modes, including the
+# drift-triggered rebuild fallback — replays byte-identically.
+churncheck:
+	$(GO) test -count=1 -run 'TestInsertNode|TestRemoveNode|TestDriftCountersAndCompact|TestInsertAndRepair|TestRemoveAndRepairRestoresEnvelope|TestChurnInterleaved|FuzzPartition' ./internal/graph
+	$(GO) test -count=1 -run 'TestSmoothShrinkThenGrow|TestForget|TestAger' ./internal/monitor
+	$(GO) test -count=1 -run 'TestSnapshotterShrinksAfterBurst|TestSnapshotterSteadyStateAllocs' ./internal/kernel
+	$(GO) test -count=1 -run 'TestChurn' ./internal/experiments
+
 # One iteration of every benchmark: catches bit-rot in the bench suite (and
 # regenerates each figure once) without committing to real measurement time.
 benchsmoke:
@@ -116,6 +131,13 @@ tracebench:
 servicebench:
 	$(GO) run ./cmd/bench -coordonly
 
+# Churn smoke: one short Poisson campaign per P with per-event timing — the
+# insert-vs-rebuild ratio and the crossover rate print on stderr, and the
+# campaign checksum is deterministic, so this doubles as an end-to-end churn
+# gate at real scale (P=1024 single-event updates without a full rebuild).
+churnbench:
+	$(GO) run ./cmd/bench -churnonly -churnquanta 100
+
 # Perf regression gate: measure the Fig 10 sweep plus the allocator,
 # signature, and trace I/O latency sweeps and fail if any is >15% slower
 # than the newest recorded baseline entry (or if any determinism checksum
@@ -126,7 +148,7 @@ servicebench:
 # fixture size must match the baseline entry's (points pair by format and
 # record count).
 benchgate:
-	$(GO) run ./cmd/bench -reps 3 -alloc -allocreps 11 -allocdense 256 -sig -sigreps 5 -trace -tracereps 5 -tracemb 128 -check results/BENCH_2026-08-06.json -tolerance 0.15
+	$(GO) run ./cmd/bench -reps 3 -alloc -allocreps 11 -allocdense 256 -sig -sigreps 5 -trace -tracereps 5 -tracemb 128 -churn -churnquanta 200 -check results/BENCH_2026-08-06.json -tolerance 0.15
 
 # Real measurement: the recorded Figure 10 sweep harness. Appends to
 # results/BENCH_<date>.json; see README "Performance".

@@ -78,6 +78,9 @@ type Entry struct {
 	// Coord holds the coordinator service benchmark points when -coord was
 	// given; see cmd/bench/coord.go. Recorded but never gated by -check.
 	Coord []CoordPoint `json:"coord,omitempty"`
+	// Churn holds the arrival/departure benchmark points when -churn was
+	// given; see cmd/bench/churn.go.
+	Churn []ChurnPoint `json:"churn,omitempty"`
 	// RepsMP1/MinSecondsMP1 record the same sweep pinned to GOMAXPROCS=1
 	// when -mp1 was given, so single-core and native-parallel numbers live
 	// in one entry (on a 1-vCPU host the two coincide; recording both keeps
@@ -110,6 +113,9 @@ func main() {
 	coordOnly := flag.Bool("coordonly", false, "run only the coordinator service benchmark, skipping the Figure 10 sweep")
 	coordWorkers := flag.Int("coordworkers", 50, "coordinator benchmark fleet size (concurrent fake workers)")
 	coordShards := flag.Int("coordshards", 64, "coordinator benchmark campaign shard count")
+	churnBench := flag.Bool("churn", false, "also run the churn benchmark (per-event arrival/departure/aging cost vs full rebuild, Poisson campaigns at P in {256, 1024})")
+	churnOnly := flag.Bool("churnonly", false, "run only the churn benchmark, skipping the Figure 10 sweep")
+	churnQuanta := flag.Int("churnquanta", 200, "churn benchmark campaign length in monitor quanta")
 	mp1 := flag.Bool("mp1", false, "after the native-GOMAXPROCS reps, repeat the sweep pinned to GOMAXPROCS=1 and record both in the entry")
 	flag.Parse()
 	if *allocOnly {
@@ -124,7 +130,10 @@ func main() {
 	if *coordOnly {
 		*coordBench = true
 	}
-	microOnly := *allocOnly || *sigOnly || *traceOnly || *coordOnly
+	if *churnOnly {
+		*churnBench = true
+	}
+	microOnly := *allocOnly || *sigOnly || *traceOnly || *coordOnly || *churnOnly
 
 	cfg := experiments.Quick()
 	pool := pool()
@@ -218,6 +227,9 @@ func main() {
 	if *coordBench {
 		e.Coord = runCoordBench([]int{*coordWorkers}, *coordShards)
 	}
+	if *churnBench {
+		e.Churn = runChurnBench(*churnQuanta)
+	}
 
 	if *check != "" {
 		checkRegression(*check, e, *tolerance, !microOnly)
@@ -245,8 +257,8 @@ func main() {
 		fatal(err)
 	}
 	if microOnly {
-		fmt.Printf("%s: %s %d allocator points, %d signature points, %d trace points, %d coordinator points\n",
-			path, e.Label, len(e.Alloc), len(e.Sig), len(e.Trace), len(e.Coord))
+		fmt.Printf("%s: %s %d allocator points, %d signature points, %d trace points, %d coordinator points, %d churn points\n",
+			path, e.Label, len(e.Alloc), len(e.Sig), len(e.Trace), len(e.Coord), len(e.Churn))
 		return
 	}
 	fmt.Printf("%s: %s min %.3fs over %d reps\n", path, e.Label, e.MinSeconds, *reps)
@@ -309,6 +321,11 @@ func checkRegression(path string, e Entry, tolerance float64, sweepRan bool) {
 	}
 	if len(e.Trace) > 0 && len(ref.Trace) > 0 {
 		if !checkTracePoints(ref.Trace, e.Trace, tolerance) {
+			os.Exit(1)
+		}
+	}
+	if len(e.Churn) > 0 && len(ref.Churn) > 0 {
+		if !checkChurnPoints(ref.Churn, e.Churn, tolerance) {
 			os.Exit(1)
 		}
 	}

@@ -37,6 +37,16 @@ func directedTerm(vi *kernel.View, core int, weighted bool) float64 {
 	return interference(int(vi.Symbiosis[core]))
 }
 
+// PairWeight returns the §3.3.3 weighted interference between two threads —
+// the edge weight SparseInterferenceGraph would assign the pair. Exported
+// for the churn workflow: when a thread arrives mid-run, the driver scores
+// it against candidate partners with PairWeight to pick the top-m neighbor
+// set for graph.InsertAndRepair, and the monitor's aging refresh recomputes
+// the same term as its fresh reading — all without rebuilding the graph.
+func PairWeight(vi, vj *kernel.View) float64 {
+	return directedTerm(vi, vj.LastCore, true) + directedTerm(vj, vi.LastCore, true)
+}
+
 // buildSparseGraph streams the pairwise interference weights
 // w(i,j) = d(i→core(j)) + d(j→core(i)) through a top-m builder: O(n·m)
 // memory instead of the dense path's O(n²), with each node retaining its m
@@ -63,7 +73,11 @@ func buildSparseGraph(views []kernel.View, weighted bool, override func(i, j int
 					continue
 				}
 			}
-			w = directedTerm(vi, vj.LastCore, weighted) + directedTerm(vj, vi.LastCore, weighted)
+			if weighted {
+				w = PairWeight(vi, vj)
+			} else {
+				w = directedTerm(vi, vj.LastCore, false) + directedTerm(vj, vi.LastCore, false)
+			}
 			if w != 0 {
 				b.Add(i, j, w)
 			}

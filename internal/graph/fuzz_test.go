@@ -66,5 +66,49 @@ func FuzzPartition(f *testing.F) {
 		if pt.Cut() > before+1e-9 {
 			t.Fatalf("repair increased the cut: %g -> %g", before, pt.Cut())
 		}
+
+		// Churn mutations: arrivals, departures, and compaction against a
+		// shadow edge map, with incremental-vs-fresh-build parity at the end.
+		shadow := logicalEdges(s)
+		for op := 0; op < int(updates%16); op++ {
+			switch c := rng.Intn(8); {
+			case c < 4: // arrival with up to 6 live neighbors
+				var nbrs []int32
+				var w []float64
+				seen := map[int32]bool{}
+				for tries, want := 0, rng.Intn(7); len(nbrs) < want && tries < 64; tries++ {
+					u := int32(rng.Intn(s.Len()))
+					if seen[u] || s.Removed(int(u)) {
+						continue
+					}
+					seen[u] = true
+					nbrs = append(nbrs, u)
+					w = append(w, rng.Float64()*10+0.01)
+				}
+				v, _ := InsertAndRepair(s, pt, nbrs, w)
+				for x, u := range nbrs {
+					shadow[edgeKey(int32(v), u)] = w[x]
+				}
+			case c < 7: // departure
+				if s.Alive() == 0 {
+					continue
+				}
+				v := rng.Intn(s.Len())
+				for s.Removed(v) {
+					v = (v + 1) % s.Len()
+				}
+				RemoveAndRepair(s, pt, v)
+				for e := range shadow {
+					if e[0] == int32(v) || e[1] == int32(v) {
+						delete(shadow, e)
+					}
+				}
+			default:
+				s.Compact()
+			}
+			checkSparseInvariants(t, s)
+			checkChurnPartition(t, s, pt)
+		}
+		compareEdges(t, s, freshFrom(s.Len(), shadow))
 	})
 }

@@ -110,26 +110,41 @@ func (s *Sparse) PartitionK(k int) [][]int {
 	return p.PartitionK(s, k)
 }
 
-// PartitionK is Sparse.PartitionK running on this arena's scratch.
+// PartitionK is Sparse.PartitionK running on this arena's scratch. Under
+// churn only the live nodes are partitioned — tombstoned slots appear in no
+// group, and balance is ±1 over Alive(), matching what Repair maintains
+// incrementally.
 func (p *Partitioner) PartitionK(g *Sparse, k int) [][]int {
 	validateK(k)
 	n := g.n
 	if k == 1 {
-		return [][]int{allNodes(n)}
+		if g.alive == n {
+			return [][]int{allNodes(n)}
+		}
+		grp := make([]int, 0, g.alive)
+		for i := 0; i < n; i++ {
+			if !g.dead[i] {
+				grp = append(grp, i)
+			}
+		}
+		return [][]int{grp}
 	}
 	p.localIdx = growI32(p.localIdx, g.n)
 	for i := range p.localIdx {
 		p.localIdx[i] = -1
 	}
-	p.nodes = growI32(p.nodes, n)
-	for i := range p.nodes {
-		p.nodes[i] = int32(i)
+	p.nodes = growI32(p.nodes, n)[:0]
+	for i := 0; i < n; i++ {
+		if !g.dead[i] {
+			p.nodes = append(p.nodes, int32(i))
+		}
 	}
-	if cap(p.out) < n {
-		p.out = make([]int, n)
+	na := len(p.nodes)
+	if cap(p.out) < na {
+		p.out = make([]int, na)
 	}
 	groups := make([][]int, 0, k)
-	backing := make([]int, n)
+	backing := make([]int, na)
 	off := 0
 	p.recurse(g, p.nodes, k, &groups, backing, &off)
 	return groups

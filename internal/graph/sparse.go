@@ -17,33 +17,55 @@ import (
 
 // Sparse is a weighted undirected graph in compressed-sparse-row form. Rows
 // are neighbor lists sorted by node id; every edge appears in both endpoint
-// rows with the same weight. Sparse graphs are immutable in structure once
-// built (see Builder); only edge weights may change, via UpdateWeight.
+// rows with the same weight. A freshly built graph is packed (see Builder),
+// but the structure is mutable under churn: edge weights change via
+// UpdateWeight, and whole nodes arrive and depart via InsertNode/RemoveNode
+// (churn.go) — each row carries independent start/end/limit bounds so it can
+// grow into slack in place or relocate to tail storage, leaving abandoned
+// slots that Compact reclaims lazily and Drift makes observable.
 type Sparse struct {
-	n      int
-	rowPtr []int32 // len n+1; row i is col/wts[rowPtr[i]:rowPtr[i+1]]
-	col    []int32 // neighbor ids, ascending within a row
-	wts    []float64
+	n     int     // node-id space, including tombstoned slots
+	alive int     // nodes not tombstoned by RemoveNode
+	off   []int32 // row i storage start
+	end   []int32 // row i live end; row i is col/wts[off[i]:end[i]]
+	lim   []int32 // row i storage limit; (end, lim) is reusable slack
+	col   []int32 // neighbor ids, ascending within a live row
+	wts   []float64
+	dead  []bool  // tombstoned node slots
+	free  []int32 // tombstoned slots available for id reuse (LIFO)
+	slots int     // live directed edge slots; Edges() == slots/2
+	drift Drift
 }
 
-// Len returns the node count.
+// Len returns the node-id space size, including tombstoned slots — the
+// length callers must size id-indexed arrays (CutK assignments) to.
 func (s *Sparse) Len() int { return s.n }
 
-// Edges returns the undirected edge count.
-func (s *Sparse) Edges() int { return len(s.col) / 2 }
+// Alive returns the live node count (Len minus tombstoned slots).
+func (s *Sparse) Alive() int { return s.alive }
 
-// Degree returns the neighbor count of node i.
+// Removed reports whether node i has been tombstoned by RemoveNode.
+func (s *Sparse) Removed(i int) bool {
+	s.check(i)
+	return s.dead[i]
+}
+
+// Edges returns the undirected edge count.
+func (s *Sparse) Edges() int { return s.slots / 2 }
+
+// Degree returns the neighbor count of node i (0 for tombstoned nodes).
 func (s *Sparse) Degree(i int) int {
 	s.check(i)
-	return int(s.rowPtr[i+1] - s.rowPtr[i])
+	return int(s.end[i] - s.off[i])
 }
 
 // Row returns node i's neighbor ids and weights. The slices alias the
 // graph's storage and must not be modified (weights change via UpdateWeight
-// so the symmetric copy stays in sync).
+// so the symmetric copy stays in sync); they are invalidated by the next
+// structural edit (InsertNode/RemoveNode/Compact).
 func (s *Sparse) Row(i int) ([]int32, []float64) {
 	s.check(i)
-	lo, hi := s.rowPtr[i], s.rowPtr[i+1]
+	lo, hi := s.off[i], s.end[i]
 	return s.col[lo:hi], s.wts[lo:hi]
 }
 
@@ -56,7 +78,7 @@ func (s *Sparse) check(i int) {
 // find returns the index into col/wts of edge {i,j}, or -1 if the edge is
 // not present (binary search within row i).
 func (s *Sparse) find(i, j int) int {
-	lo, hi := int(s.rowPtr[i]), int(s.rowPtr[i+1])
+	lo, hi := int(s.off[i]), int(s.end[i])
 	row := s.col[lo:hi]
 	k := sort.Search(len(row), func(x int) bool { return row[x] >= int32(j) })
 	if k < len(row) && row[k] == int32(j) {
@@ -80,11 +102,12 @@ func (s *Sparse) Weight(i, j int) float64 {
 }
 
 // UpdateWeight overwrites the weight of the existing edge {i,j} in both
-// directions and reports whether the edge was present. Edges cannot be
-// inserted into CSR storage — a structural change (a new interference pair)
-// requires a rebuild through Builder; the monitor treats a false return as
-// the signal to schedule one. Pair the weight change with RepairPartition to
-// mend the current cut instead of recomputing it.
+// directions and reports whether the edge was present. A false return means
+// the pair was sparsified away (or never offered) — the structure has
+// drifted from the logical interference graph, the miss is counted in Drift,
+// and the caller decides between living with it and a rebuild through
+// Builder. Pair the weight change with RepairPartition to mend the current
+// cut instead of recomputing it.
 func (s *Sparse) UpdateWeight(i, j int, w float64) bool {
 	s.check(i)
 	s.check(j)
@@ -93,6 +116,7 @@ func (s *Sparse) UpdateWeight(i, j int, w float64) bool {
 	}
 	ki := s.find(i, j)
 	if ki < 0 {
+		s.drift.Misses++
 		return false
 	}
 	kj := s.find(j, i)
@@ -104,8 +128,10 @@ func (s *Sparse) UpdateWeight(i, j int, w float64) bool {
 // TotalWeight returns the sum of all edge weights.
 func (s *Sparse) TotalWeight() float64 {
 	var sum float64
-	for _, w := range s.wts {
-		sum += w
+	for i := 0; i < s.n; i++ {
+		for _, w := range s.wts[s.off[i]:s.end[i]] {
+			sum += w
+		}
 	}
 	return sum / 2
 }
@@ -359,7 +385,16 @@ func (s *Builder) Build() *Sparse {
 			}
 		}
 	}
-	sp := &Sparse{n: n, rowPtr: rowPtr, col: col, wts: wts}
+	// A fresh build is fully packed: every row's storage limit coincides
+	// with its live end, so the first structural insert into a row
+	// relocates it to tail storage with slack (see churn.go).
+	sp := &Sparse{
+		n: n, alive: n, slots: len(col),
+		off: rowPtr[:n:n], end: make([]int32, n), lim: make([]int32, n),
+		col: col, wts: wts, dead: make([]bool, n),
+	}
+	copy(sp.end, rowPtr[1:])
+	copy(sp.lim, rowPtr[1:])
 	// Rows built from union terms are appended out of order; normalize.
 	for i := 0; i < n; i++ {
 		lo, hi := rowPtr[i], rowPtr[i+1]

@@ -310,7 +310,19 @@ func SnapshotInto(buf []View, procs []*Process) []View {
 type Snapshotter struct {
 	views   []View
 	sym, ov []int32 // flat P×N row-major backing matrices
+	// small counts consecutive snapshots that needed less than a quarter of
+	// the backing capacity. Capacity only ever grew before thread churn
+	// existed; under an open arrival/departure workload a population burst
+	// would otherwise pin its peak P×N footprint forever. After
+	// snapShrinkAfter consecutive small snapshots the backing is reallocated
+	// at the current need — hysteresis, so a population oscillating around a
+	// boundary does not realloc every period.
+	small int
 }
+
+// snapShrinkAfter is how many consecutive under-quarter-capacity snapshots
+// trigger a backing-store shrink.
+const snapShrinkAfter = 16
 
 // Snapshot fills the Snapshotter's backing store with monitor views for all
 // threads and returns them. Lazily captured signatures are materialized.
@@ -323,6 +335,16 @@ func (s *Snapshotter) Snapshot(procs []*Process) []View {
 				n = len(t.Sig.Symbiosis)
 			}
 		}
+	}
+	if cap(s.views) > 4*p || cap(s.sym) > 4*p*n {
+		if s.small++; s.small >= snapShrinkAfter {
+			s.views = make([]View, p)
+			s.sym = make([]int32, p*n)
+			s.ov = make([]int32, p*n)
+			s.small = 0
+		}
+	} else {
+		s.small = 0
 	}
 	if cap(s.views) < p {
 		s.views = make([]View, p)

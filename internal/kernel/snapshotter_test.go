@@ -1,0 +1,91 @@
+package kernel
+
+import (
+	"testing"
+
+	"symbiosched/internal/bloom"
+)
+
+// snapProcs builds p single-thread processes whose signatures carry
+// n-partner vectors — the knob the Snapshotter sizes its P×N backing by.
+func snapProcs(p, n int) []*Process {
+	procs := make([]*Process, p)
+	for i := range procs {
+		sig := &bloom.Signature{Occupancy: i + 1}
+		sig.Symbiosis = make([]int, n)
+		sig.Overlap = make([]int, n)
+		for j := 0; j < n; j++ {
+			sig.Symbiosis[j] = i + j
+			sig.Overlap[j] = i ^ j
+		}
+		procs[i] = &Process{
+			ID:      i,
+			Name:    "synthetic",
+			Threads: []*Thread{{ID: i, Sig: sig}},
+		}
+	}
+	return procs
+}
+
+// TestSnapshotterShrinksAfterBurst pins the backing-store lifecycle under
+// population churn: a burst at high P×N grows the flat matrices, and once
+// the population stays small for snapShrinkAfter consecutive snapshots the
+// matrices are reallocated at the small size instead of pinning the burst's
+// peak footprint forever.
+func TestSnapshotterShrinksAfterBurst(t *testing.T) {
+	var sn Snapshotter
+	big, small := snapProcs(256, 32), snapProcs(8, 32)
+
+	views := sn.Snapshot(big)
+	if len(views) != 256 {
+		t.Fatalf("views = %d", len(views))
+	}
+	peak := cap(sn.sym)
+	if peak < 256*32 {
+		t.Fatalf("burst backing %d < %d", peak, 256*32)
+	}
+
+	// Under the hysteresis threshold: capacity is retained.
+	for i := 0; i < snapShrinkAfter-1; i++ {
+		sn.Snapshot(small)
+	}
+	if cap(sn.sym) != peak {
+		t.Fatalf("backing shrank after %d small snapshots", snapShrinkAfter-1)
+	}
+	// One oscillation back to big resets the streak.
+	sn.Snapshot(big)
+	for i := 0; i < snapShrinkAfter-1; i++ {
+		sn.Snapshot(small)
+	}
+	if cap(sn.sym) != peak {
+		t.Fatal("oscillation did not reset the shrink streak")
+	}
+	// A full streak of small snapshots triggers the shrink.
+	views = sn.Snapshot(small)
+	if got := cap(sn.sym); got != 8*32 {
+		t.Fatalf("backing after shrink = %d, want %d", got, 8*32)
+	}
+	if cap(sn.views) != 8 {
+		t.Fatalf("view backing after shrink = %d, want 8", cap(sn.views))
+	}
+	// The shrunk snapshot is still correct and subsequent growth still works.
+	if views[3].Occupancy != 4 || views[3].Symbiosis[5] != 8 {
+		t.Fatalf("post-shrink view 3 = %+v", views[3])
+	}
+	views = sn.Snapshot(big)
+	if len(views) != 256 || views[100].Occupancy != 101 {
+		t.Fatal("regrowth after shrink broken")
+	}
+}
+
+// TestSnapshotterSteadyStateAllocs: the shrink check must not disturb the
+// zero-alloc steady state on a stable population.
+func TestSnapshotterSteadyStateAllocs(t *testing.T) {
+	var sn Snapshotter
+	procs := snapProcs(64, 16)
+	sn.Snapshot(procs)
+	allocs := testing.AllocsPerRun(100, func() { sn.Snapshot(procs) })
+	if allocs != 0 {
+		t.Fatalf("steady-state snapshot allocates %.1f objects, want 0", allocs)
+	}
+}

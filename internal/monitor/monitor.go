@@ -34,7 +34,13 @@ type Monitor struct {
 	// smoothed is indexed by ThreadID — the kernel guarantees dense global
 	// IDs, so a slice beats a map at the thousands-of-threads scale the
 	// sparse allocator path targets. Entries are nil until first profiled.
+	// Under churn thread IDs are reused, so smooth drops the entry of any
+	// thread absent from the current snapshot (a reused ID must not inherit
+	// the departed thread's averages) and trims the slice when the
+	// population shrinks; seen is the alloc-free scratch marking which IDs
+	// appeared this invocation.
 	smoothed []*smoothState
+	seen     []bool
 
 	// snap owns the struct-of-arrays view backing (the monitor re-reads the
 	// same thread set every period, so the flat matrices stabilise after the
@@ -104,13 +110,25 @@ func (mo *Monitor) smooth(views []kernel.View) []kernel.View {
 	if a <= 0 || a >= 1 {
 		return views
 	}
+	if n := len(mo.smoothed); cap(mo.seen) < n {
+		mo.seen = make([]bool, n)
+	} else {
+		mo.seen = mo.seen[:n]
+		for i := range mo.seen {
+			mo.seen[i] = false
+		}
+	}
 	for i := range views {
 		v := &views[i]
+		if v.ThreadID >= 0 && v.ThreadID < len(mo.seen) {
+			mo.seen[v.ThreadID] = true
+		}
 		if !v.HasSig {
 			continue
 		}
 		for v.ThreadID >= len(mo.smoothed) {
 			mo.smoothed = append(mo.smoothed, nil)
+			mo.seen = append(mo.seen, true)
 		}
 		st := mo.smoothed[v.ThreadID]
 		if st == nil || len(st.symbiosis) != len(v.Symbiosis) || len(st.overlap) != len(v.Overlap) {
@@ -141,7 +159,30 @@ func (mo *Monitor) smooth(views []kernel.View) []kernel.View {
 			v.Overlap[j] = int32(st.overlap[j] + 0.5)
 		}
 	}
+	// Drop state for threads absent from this snapshot — they departed, and
+	// the kernel reuses their IDs — then trim trailing slots so the state
+	// tracks the live population as it shrinks and grows.
+	for id, st := range mo.smoothed {
+		if st != nil && !mo.seen[id] {
+			mo.smoothed[id] = nil
+		}
+	}
+	n := len(mo.smoothed)
+	for n > 0 && mo.smoothed[n-1] == nil {
+		n--
+	}
+	mo.smoothed = mo.smoothed[:n]
 	return views
+}
+
+// Forget discards the smoothing state of one thread ID immediately. Callers
+// that observe a departure out of band (before the next snapshot would age
+// the slot out naturally) use this to keep a reused ID from inheriting the
+// departed thread's averages within the same quantum.
+func (mo *Monitor) Forget(threadID int) {
+	if threadID >= 0 && threadID < len(mo.smoothed) {
+		mo.smoothed[threadID] = nil
+	}
 }
 
 func (mo *Monitor) record(mapping alloc.Mapping) {
